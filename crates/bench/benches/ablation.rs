@@ -1,0 +1,106 @@
+//! Criterion benches for the design-choice ablations' *cost* side: how
+//! training time scales with hidden width, learner choice and loss function.
+//! The *quality* side of the same ablations is produced by the `ablations`
+//! binary (`cargo run -p esp-bench --bin ablations --release`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esp_core::{EspConfig, EspModel, FeatureSet, Learner, TrainingProgram};
+use esp_corpus::suite;
+use esp_ir::ProgramAnalysis;
+use esp_lang::CompilerConfig;
+use esp_nnet::{LossKind, MlpConfig, TreeConfig};
+
+struct Data {
+    prog: esp_ir::Program,
+    analysis: ProgramAnalysis,
+    profile: esp_exec::Profile,
+}
+
+fn load_corpus(names: &[&str]) -> Vec<Data> {
+    names
+        .iter()
+        .map(|name| {
+            let bench = suite()
+                .into_iter()
+                .find(|b| b.name == *name)
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+            let analysis = ProgramAnalysis::analyze(&prog);
+            let profile = esp_corpus::profile(&prog).expect("runs");
+            Data {
+                prog,
+                analysis,
+                profile,
+            }
+        })
+        .collect()
+}
+
+fn mlp(hidden: usize, loss: LossKind) -> MlpConfig {
+    MlpConfig {
+        hidden,
+        loss,
+        max_epochs: 30,
+        patience: 30,
+        restarts: 1,
+        ..MlpConfig::default()
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let data = load_corpus(&["sort", "grep", "wdiff"]);
+    let corpus: Vec<TrainingProgram<'_>> = data
+        .iter()
+        .map(|d| TrainingProgram {
+            prog: &d.prog,
+            analysis: &d.analysis,
+            profile: &d.profile,
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("ablation-train-cost");
+    g.sample_size(10);
+    for hidden in [0usize, 5, 10, 20] {
+        g.bench_function(format!("hidden-{hidden}"), |b| {
+            b.iter(|| {
+                EspModel::train(
+                    &corpus,
+                    &EspConfig {
+                        learner: Learner::Net(mlp(hidden, LossKind::Linear)),
+                        features: FeatureSet::default(),
+                    },
+                )
+            })
+        });
+    }
+    g.bench_function("loss-sse", |b| {
+        b.iter(|| {
+            EspModel::train(
+                &corpus,
+                &EspConfig {
+                    learner: Learner::Net(mlp(10, LossKind::Sse)),
+                    features: FeatureSet::default(),
+                },
+            )
+        })
+    });
+    g.bench_function("tree", |b| {
+        b.iter(|| {
+            EspModel::train(
+                &corpus,
+                &EspConfig {
+                    learner: Learner::Tree(TreeConfig::default()),
+                    features: FeatureSet::default(),
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

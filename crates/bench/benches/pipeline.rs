@@ -1,0 +1,71 @@
+//! Criterion benches for the substrate pipeline: compilation, execution/
+//! profiling, CFG analyses, and feature extraction/encoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_corpus::suite;
+use esp_ir::ProgramAnalysis;
+use esp_lang::CompilerConfig;
+
+fn bench_compile(c: &mut Criterion) {
+    let bench = suite().into_iter().find(|b| b.name == "gcc").expect("gcc");
+    let src = bench.source();
+    let mut g = c.benchmark_group("compile");
+    for cfg in [
+        CompilerConfig::o0(),
+        CompilerConfig::cc_osf1_v12(),
+        CompilerConfig::gem(),
+        CompilerConfig::mips_ref(),
+    ] {
+        g.bench_function(cfg.name, |b| {
+            b.iter(|| {
+                esp_lang::compile_source("gcc", &src, bench.lang, &cfg).expect("compiles")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let bench = suite().into_iter().find(|b| b.name == "sort").expect("sort");
+    let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+    c.bench_function("execute/profile sort", |b| {
+        b.iter(|| esp_corpus::profile(&prog).expect("runs"))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let bench = suite().into_iter().find(|b| b.name == "gcc").expect("gcc");
+    let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+    c.bench_function("program analysis gcc", |b| {
+        b.iter(|| ProgramAnalysis::analyze(&prog))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let bench = suite().into_iter().find(|b| b.name == "gcc").expect("gcc");
+    let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+    let analysis = ProgramAnalysis::analyze(&prog);
+    let sites = prog.branch_sites();
+    c.bench_function("feature extraction gcc (all sites)", |b| {
+        b.iter_batched(
+            || sites.clone(),
+            |sites| {
+                sites
+                    .into_iter()
+                    .map(|s| {
+                        let f = esp_core::extract(&prog, &analysis, s);
+                        esp_core::encode(&f, &esp_core::FeatureSet::default())
+                    })
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile, bench_execute, bench_analysis, bench_features
+}
+criterion_main!(benches);

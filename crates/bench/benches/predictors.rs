@@ -1,0 +1,101 @@
+//! Criterion benches for the predictors themselves: per-site prediction
+//! throughput of BTFNT / APHC / DSHC / ESP and ESP training cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esp_bench::bench_esp_config;
+use esp_core::{EspModel, TrainingProgram};
+use esp_corpus::suite;
+use esp_heur::{Aphc, BranchCtx, Btfnt, Dshc, HeuristicRates};
+use esp_ir::ProgramAnalysis;
+use esp_lang::CompilerConfig;
+
+struct Data {
+    prog: esp_ir::Program,
+    analysis: ProgramAnalysis,
+    profile: esp_exec::Profile,
+}
+
+fn load(name: &str) -> Data {
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+    let analysis = ProgramAnalysis::analyze(&prog);
+    let profile = esp_corpus::profile(&prog).expect("runs");
+    Data {
+        prog,
+        analysis,
+        profile,
+    }
+}
+
+fn bench_heuristic_predictors(c: &mut Criterion) {
+    let d = load("espresso");
+    let sites = d.prog.branch_sites();
+    let aphc = Aphc::table1_order();
+    let dshc = Dshc::new(HeuristicRates::ball_larus_mips());
+    let mut g = c.benchmark_group("predict-all-sites");
+    g.bench_function("btfnt", |b| {
+        b.iter(|| {
+            sites
+                .iter()
+                .filter(|s| Btfnt.predict(&BranchCtx::new(&d.prog, &d.analysis, **s)))
+                .count()
+        })
+    });
+    g.bench_function("aphc", |b| {
+        b.iter(|| {
+            sites
+                .iter()
+                .filter_map(|s| aphc.predict(&BranchCtx::new(&d.prog, &d.analysis, *s)))
+                .count()
+        })
+    });
+    g.bench_function("dshc", |b| {
+        b.iter(|| {
+            sites
+                .iter()
+                .filter_map(|s| dshc.predict(&BranchCtx::new(&d.prog, &d.analysis, *s)))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_esp(c: &mut Criterion) {
+    let train: Vec<Data> = ["sort", "grep", "sed"].iter().map(|n| load(n)).collect();
+    let corpus: Vec<TrainingProgram<'_>> = train
+        .iter()
+        .map(|d| TrainingProgram {
+            prog: &d.prog,
+            analysis: &d.analysis,
+            profile: &d.profile,
+        })
+        .collect();
+    let cfg = bench_esp_config();
+    let mut g = c.benchmark_group("esp");
+    g.sample_size(10);
+    g.bench_function("train (3 programs)", |b| {
+        b.iter(|| EspModel::train(&corpus, &cfg))
+    });
+    let model = EspModel::train(&corpus, &cfg);
+    let test = load("wdiff");
+    let sites = test.prog.branch_sites();
+    g.bench_function("predict-all-sites", |b| {
+        b.iter(|| {
+            sites
+                .iter()
+                .filter(|s| model.predict_taken(&test.prog, &test.analysis, **s))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_heuristic_predictors, bench_esp
+}
+criterion_main!(benches);

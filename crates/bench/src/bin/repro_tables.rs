@@ -1,0 +1,178 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
+//! Table 4 finishes in seconds instead of minutes; the paper-shaped ranking
+//! is preserved, absolute numbers move a little.
+
+use esp_core::{EspConfig, Learner};
+use esp_eval::{fig1, table3, table4, table5, table6, table7, SuiteData, Table4Config};
+use esp_lang::CompilerConfig;
+use esp_nnet::MlpConfig;
+
+fn esp_config(quick: bool) -> EspConfig {
+    let mlp = if quick {
+        MlpConfig {
+            hidden: 6,
+            max_epochs: 60,
+            patience: 12,
+            restarts: 1,
+            ..MlpConfig::default()
+        }
+    } else {
+        MlpConfig {
+            hidden: 10,
+            max_epochs: 200,
+            patience: 25,
+            restarts: 2,
+            ..MlpConfig::default()
+        }
+    };
+    EspConfig {
+        learner: Learner::Net(mlp),
+        ..EspConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let needs_suite = matches!(what, "table3" | "table4" | "table5" | "table6" | "fig2" | "all");
+    let suite = needs_suite.then(|| {
+        eprintln!("building + profiling the 43-program corpus (cc-osf1-v1.2, Alpha)…");
+        SuiteData::build(&CompilerConfig::default())
+    });
+
+    let run_t4 = |suite: &SuiteData| {
+        eprintln!(
+            "running Table 4 (leave-one-out ESP over {} programs{})…",
+            suite.benches.len(),
+            if quick { ", quick mode" } else { "" }
+        );
+        let cfg = Table4Config {
+            esp: esp_config(quick),
+        };
+        println!("{}", table4(suite, &cfg));
+    };
+
+    match what {
+        "table3" => println!("{}", table3(suite.as_ref().expect("built above"))),
+        "table4" => run_t4(suite.as_ref().expect("built above")),
+        "table5" => println!("{}", table5(suite.as_ref().expect("built above"))),
+        "table6" => {
+            eprintln!("recompiling the corpus for the MIPS flavour…");
+            println!("{}", table6(suite.as_ref().expect("built above")));
+        }
+        "table7" => println!("{}", table7()),
+        "fig1" => println!("{}", fig1(10)),
+        "fig2" => {
+            let s = suite.as_ref().expect("built above");
+            let tomcatv = s.by_name("tomcatv").expect("tomcatv in suite");
+            println!("{}", esp_eval::casestudy::fig2(tomcatv));
+        }
+        "all" => {
+            let s = suite.as_ref().expect("built above");
+            println!("{}", table3(s));
+            run_t4(s);
+            println!("{}", table5(s));
+            eprintln!("recompiling the corpus for the MIPS flavour…");
+            println!("{}", table6(s));
+            println!("{}", table7());
+            println!("{}", fig1(10));
+            let tomcatv = s.by_name("tomcatv").expect("tomcatv in suite");
+            println!("{}", esp_eval::casestudy::fig2(tomcatv));
+            print_extras(s, quick);
+            println!("{}", esp_eval::scheme_study::scheme_study(s));
+        }
+        "scheme" => {
+            let s = suite_for_extras(quick);
+            println!("{}", esp_eval::scheme_study::scheme_study(&s));
+        }
+        "extras" => {
+            let s = suite_for_extras(quick);
+            print_extras(&s, quick);
+        }
+        other => {
+            eprintln!(
+                "unknown artifact `{other}`; expected table3|table4|table5|table6|table7|fig1|fig2|extras|scheme|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn suite_for_extras(quick: bool) -> SuiteData {
+    if quick {
+        SuiteData::build_subset(
+            &["sort", "grep", "sed", "gzip", "wdiff", "compress", "espresso", "eqntott"],
+            &CompilerConfig::default(),
+        )
+    } else {
+        eprintln!("building + profiling the corpus for the extension studies…");
+        SuiteData::build(&CompilerConfig::default())
+    }
+}
+
+/// The two extension studies from the paper's §6 future-work list:
+/// probability calibration of the ESP network and program-based profile
+/// estimation from its probability output.
+fn print_extras(suite: &SuiteData, quick: bool) {
+    use esp_core::{leave_one_out, TrainingProgram};
+    use esp_eval::calibration::{calibration, render};
+    use esp_eval::freq::evaluate_estimation;
+    use esp_ir::Lang;
+
+    let cfg = esp_config(quick);
+    let c_idx = suite.lang_indices(Lang::C);
+    if c_idx.len() < 2 {
+        eprintln!("need at least two C programs");
+        return;
+    }
+    let group: Vec<TrainingProgram<'_>> = c_idx
+        .iter()
+        .map(|&i| {
+            let b = &suite.benches[i];
+            TrainingProgram {
+                prog: &b.prog,
+                analysis: &b.analysis,
+                profile: &b.profile,
+            }
+        })
+        .collect();
+    // One held-out program carries both studies.
+    let target = c_idx[0];
+    let model = leave_one_out(&group, 0, &cfg);
+    let b = &suite.benches[target];
+
+    println!("Extension A: calibration of ESP probabilities on unseen `{}`\n", b.bench.name);
+    let mut probs = |site| model.predict_prob(&b.prog, &b.analysis, site);
+    let cal = calibration(b, 10, &mut probs);
+    println!("{}", render(&cal));
+
+    println!("Extension B: block-frequency estimation on `{}` (Wu-Larus flow equations)\n", b.bench.name);
+    println!("{:<22} {:>10} {:>10}", "probability source", "log-corr", "MAE");
+    let profile = b.profile.clone();
+    let mut oracle = |site: esp_ir::BranchId| {
+        profile
+            .counts(site)
+            .and_then(|c| c.taken_prob())
+            .unwrap_or(0.5)
+    };
+    let r = evaluate_estimation(b, &mut oracle);
+    println!("{:<22} {:>10.3} {:>10.3}", "profile oracle", r.log_correlation, r.mean_abs_error);
+    let mut esp_probs = |site| model.predict_prob(&b.prog, &b.analysis, site);
+    let r = evaluate_estimation(b, &mut esp_probs);
+    println!("{:<22} {:>10.3} {:>10.3}", "ESP network", r.log_correlation, r.mean_abs_error);
+    let mut flat = |_| 0.5;
+    let r = evaluate_estimation(b, &mut flat);
+    println!("{:<22} {:>10.3} {:>10.3}", "flat 0.5", r.log_correlation, r.mean_abs_error);
+}

@@ -1,0 +1,27 @@
+//! Benchmark crate: criterion performance benches (`benches/`) and the
+//! `repro_tables` binary that regenerates every table and figure of the
+//! paper (`src/bin/repro_tables.rs`).
+//!
+//! The library itself only hosts small helpers shared by the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use esp_core::{EspConfig, Learner};
+use esp_nnet::MlpConfig;
+
+/// A reduced ESP configuration for benches: small network, few epochs, one
+/// restart — fast enough to run inside criterion iterations while exercising
+/// the full pipeline.
+pub fn bench_esp_config() -> EspConfig {
+    EspConfig {
+        learner: Learner::Net(MlpConfig {
+            hidden: 6,
+            max_epochs: 40,
+            patience: 10,
+            restarts: 1,
+            ..MlpConfig::default()
+        }),
+        ..EspConfig::default()
+    }
+}

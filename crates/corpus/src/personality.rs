@@ -1,0 +1,48 @@
+//! Per-benchmark generation knobs.
+
+/// Generation knobs for one benchmark, tuned from the paper's Table 3 so the
+/// suite spans comparable behaviours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Personality {
+    /// How many generated worker functions (besides `main`).
+    pub funcs: u32,
+    /// Outer repetitions of the whole phase schedule in `main` — the main
+    /// lever on dynamic instruction counts.
+    pub main_iters: i64,
+    /// Typical inner-loop trip count; long loops push the overall %taken up
+    /// (each trip is a taken latch branch).
+    pub loop_trip: i64,
+    /// Relative weight of pointer idioms (lists, null guards). Zero for
+    /// Fortran programs, matching "pointers are very rare in FORTRAN".
+    pub ptr_weight: u32,
+    /// Relative weight of call-flavoured idioms (error paths that call).
+    pub call_weight: u32,
+    /// Relative weight of floating-point kernels.
+    pub float_weight: u32,
+    /// Relative weight of switch/dispatch idioms.
+    pub switch_weight: u32,
+    /// Relative weight of recursive idioms.
+    pub rec_weight: u32,
+    /// Relative weight of data-dependent (hard-to-predict) branch idioms.
+    pub noise_weight: u32,
+    /// Denominator of the rare-error probability (an error fires about once
+    /// per `error_rarity` inner iterations).
+    pub error_rarity: i64,
+}
+
+impl Default for Personality {
+    fn default() -> Self {
+        Personality {
+            funcs: 10,
+            main_iters: 35,
+            loop_trip: 40,
+            ptr_weight: 2,
+            call_weight: 2,
+            float_weight: 1,
+            switch_weight: 1,
+            rec_weight: 1,
+            noise_weight: 2,
+            error_rarity: 64,
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The ESP model: train on a corpus of profiled programs, predict branches
+//! of unseen programs.
+
+use esp_exec::Profile;
+use esp_ir::{BranchId, Program, ProgramAnalysis};
+use esp_nnet::{DecisionTree, Mlp, MlpConfig, TrainExample, TreeConfig};
+
+use crate::encode::{encode, FeatureSet, FittedEncoder};
+use crate::features::extract;
+
+/// One profiled program of the training corpus.
+pub struct TrainingProgram<'a> {
+    /// The compiled program.
+    pub prog: &'a Program,
+    /// Its analyses.
+    pub analysis: &'a ProgramAnalysis,
+    /// Its one-run profile (per-branch taken counts).
+    pub profile: &'a Profile,
+}
+
+/// Which learner maps features to taken-probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Learner {
+    /// The paper's feed-forward network (§3.1.1).
+    Net(MlpConfig),
+    /// The decision-tree alternative (§3.1.2).
+    Tree(TreeConfig),
+}
+
+impl Default for Learner {
+    fn default() -> Self {
+        Learner::Net(MlpConfig::default())
+    }
+}
+
+/// ESP training configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EspConfig {
+    /// Learner choice and hyper-parameters.
+    pub learner: Learner,
+    /// Which Table 2 feature groups to use.
+    pub features: FeatureSet,
+}
+
+enum Fitted {
+    Net(Mlp),
+    Tree(DecisionTree),
+}
+
+/// A trained evidence-based static predictor.
+pub struct EspModel {
+    encoder: FittedEncoder,
+    fitted: Fitted,
+    examples: usize,
+}
+
+impl EspModel {
+    /// Train on a corpus of profiled programs.
+    ///
+    /// Each *executed* branch site contributes one example: its encoded
+    /// Table 2 features, its true taken-probability `t_k`, and its
+    /// normalized branch weight `n_k` (execution count over the program's
+    /// total conditional-branch executions, §3.1). Sites that never executed
+    /// carry no dynamic information and are skipped, matching the paper's
+    /// weighting (their `n_k` is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus contains no executed branches.
+    pub fn train(corpus: &[TrainingProgram<'_>], cfg: &EspConfig) -> Self {
+        let mut raw: Vec<(Vec<f64>, Vec<bool>)> = Vec::new();
+        let mut targets: Vec<(f64, f64)> = Vec::new(); // (t_k, n_k)
+        for tp in corpus {
+            for site in tp.prog.branch_sites() {
+                let Some(counts) = tp.profile.counts(site) else {
+                    continue;
+                };
+                let Some(t) = counts.taken_prob() else {
+                    continue;
+                };
+                let f = extract(tp.prog, tp.analysis, site);
+                raw.push(encode(&f, &cfg.features));
+                targets.push((t, tp.profile.weight(site)));
+            }
+        }
+        assert!(
+            !raw.is_empty(),
+            "training corpus contains no executed branches"
+        );
+        let encoder = FittedEncoder::fit(&raw, cfg.features);
+        let data: Vec<TrainExample> = raw
+            .iter()
+            .zip(&targets)
+            .map(|((row, mask), (t, n))| TrainExample {
+                x: encoder.transform(row, mask),
+                target: *t,
+                weight: *n,
+            })
+            .collect();
+        let fitted = match &cfg.learner {
+            Learner::Net(mcfg) => Fitted::Net(Mlp::train(&data, mcfg).0),
+            Learner::Tree(tcfg) => Fitted::Tree(DecisionTree::train(&data, tcfg)),
+        };
+        EspModel {
+            encoder,
+            fitted,
+            examples: data.len(),
+        }
+    }
+
+    /// Number of training examples used.
+    pub fn num_examples(&self) -> usize {
+        self.examples
+    }
+
+    /// The model's estimated probability that `site` is taken.
+    pub fn predict_prob(
+        &self,
+        prog: &Program,
+        analysis: &ProgramAnalysis,
+        site: BranchId,
+    ) -> f64 {
+        let f = extract(prog, analysis, site);
+        let x = self.encoder.encode(&f);
+        match &self.fitted {
+            Fitted::Net(m) => m.predict(&x),
+            Fitted::Tree(t) => t.predict(&x),
+        }
+    }
+
+    /// Hard taken/not-taken prediction at the paper's 0.5 threshold.
+    pub fn predict_taken(
+        &self,
+        prog: &Program,
+        analysis: &ProgramAnalysis,
+        site: BranchId,
+    ) -> bool {
+        self.predict_prob(prog, analysis, site) > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_exec::{run, ExecLimits};
+    use esp_ir::Lang;
+    use esp_lang::{compile_source, CompilerConfig};
+
+    struct Owned {
+        prog: Program,
+        analysis: ProgramAnalysis,
+        profile: Profile,
+    }
+
+    fn build(src: &str) -> Owned {
+        let prog = compile_source("t", src, Lang::C, &CompilerConfig::default()).unwrap();
+        let analysis = ProgramAnalysis::analyze(&prog);
+        let profile = run(&prog, &ExecLimits::default()).unwrap().profile;
+        Owned {
+            prog,
+            analysis,
+            profile,
+        }
+    }
+
+    const LOOPY: &str = r#"
+        int main() {
+            int i = 0;
+            int s = 0;
+            while (i < 200) {
+                if (s > 100000) { return s; }
+                s = s + i;
+                i = i + 1;
+            }
+            return s;
+        }
+    "#;
+
+    const LOOPY2: &str = r#"
+        int main() {
+            int j = 5;
+            int t = 0;
+            while (j < 300) {
+                if (t < 0) { return 0; }
+                t = t + j % 11;
+                j = j + 1;
+            }
+            return t;
+        }
+    "#;
+
+    fn cheap_cfg() -> EspConfig {
+        EspConfig {
+            learner: Learner::Net(MlpConfig {
+                hidden: 4,
+                max_epochs: 120,
+                patience: 20,
+                restarts: 1,
+                ..MlpConfig::default()
+            }),
+            features: FeatureSet::default(),
+        }
+    }
+
+    #[test]
+    fn learns_loop_bias_across_programs() {
+        let a = build(LOOPY);
+        let b = build(LOOPY2);
+        let corpus = [TrainingProgram {
+            prog: &a.prog,
+            analysis: &a.analysis,
+            profile: &a.profile,
+        }];
+        let model = EspModel::train(&corpus, &cheap_cfg());
+        assert!(model.num_examples() > 0);
+        // predict on the *other* program: latch branches (taken-side back
+        // edge) must be predicted taken.
+        for site in b.prog.branch_sites() {
+            let f = crate::features::extract(&b.prog, &b.analysis, site);
+            if f.taken.back_edge {
+                assert!(
+                    model.predict_taken(&b.prog, &b.analysis, site),
+                    "latch branch predicted not-taken"
+                );
+            }
+            let p = model.predict_prob(&b.prog, &b.analysis, site);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn tree_learner_also_works() {
+        let a = build(LOOPY);
+        let corpus = [TrainingProgram {
+            prog: &a.prog,
+            analysis: &a.analysis,
+            profile: &a.profile,
+        }];
+        let cfg = EspConfig {
+            learner: Learner::Tree(TreeConfig::default()),
+            features: FeatureSet::default(),
+        };
+        let model = EspModel::train(&corpus, &cfg);
+        let b = build(LOOPY2);
+        for site in b.prog.branch_sites() {
+            let f = crate::features::extract(&b.prog, &b.analysis, site);
+            if f.taken.back_edge {
+                assert!(model.predict_taken(&b.prog, &b.analysis, site));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no executed branches")]
+    fn empty_corpus_rejected() {
+        let src = "int main() { return 3; }";
+        let a = build(src);
+        let corpus = [TrainingProgram {
+            prog: &a.prog,
+            analysis: &a.analysis,
+            profile: &a.profile,
+        }];
+        let _ = EspModel::train(&corpus, &cheap_cfg());
+    }
+}

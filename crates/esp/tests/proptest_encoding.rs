@@ -1,0 +1,142 @@
+//! Property tests for the feature encoding: stable dimensionality, valid
+//! one-hots and consistent masking for arbitrary feature records.
+
+use esp_core::{encode, FeatureSet, ENCODED_DIM};
+use esp_core::{BranchFeatures, SuccessorFeatures};
+use esp_ir::term::TermKind;
+use esp_ir::{BranchOp, Lang, Opcode, ProcKind};
+use proptest::prelude::*;
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    (0..BranchOp::ALL.len()).prop_map(|i| BranchOp::ALL[i])
+}
+
+fn opcode() -> impl Strategy<Value = Option<Opcode>> {
+    prop_oneof![
+        Just(None),
+        (0..Opcode::ALL.len()).prop_map(|i| Some(Opcode::ALL[i])),
+    ]
+}
+
+fn term_kind() -> impl Strategy<Value = TermKind> {
+    (0..TermKind::ALL.len()).prop_map(|i| TermKind::ALL[i])
+}
+
+fn succ() -> impl Strategy<Value = SuccessorFeatures> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        term_kind(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(dominates, postdominates, ends_with, loop_header, back_edge, exit_edge, ubd, call)| {
+                SuccessorFeatures {
+                    dominates,
+                    postdominates,
+                    ends_with,
+                    loop_header,
+                    back_edge,
+                    exit_edge,
+                    use_before_def: ubd,
+                    has_call: call,
+                }
+            },
+        )
+}
+
+fn features() -> impl Strategy<Value = BranchFeatures> {
+    (
+        (branch_op(), any::<bool>(), opcode(), opcode(), any::<bool>()),
+        (opcode(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u8..3),
+        succ(),
+        succ(),
+    )
+        .prop_map(
+            |(
+                (br_opcode, backward, operand_opcode, ra_opcode, ra_meaningful),
+                (rb_opcode, rb_meaningful, loop_header, fortran),
+                pk,
+                taken,
+                not_taken,
+            )| BranchFeatures {
+                br_opcode,
+                backward,
+                operand_opcode,
+                ra_opcode,
+                ra_meaningful,
+                rb_opcode,
+                rb_meaningful,
+                loop_header,
+                lang: if fortran { Lang::Fort } else { Lang::C },
+                proc_kind: match pk {
+                    0 => ProcKind::Leaf,
+                    1 => ProcKind::NonLeaf,
+                    _ => ProcKind::CallSelf,
+                },
+                taken,
+                not_taken,
+            },
+        )
+}
+
+fn feature_set() -> impl Strategy<Value = FeatureSet> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(opcode_features, context_features, successor_features)| FeatureSet {
+            opcode_features,
+            context_features,
+            successor_features,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encoding_dimension_is_constant(f in features(), set in feature_set()) {
+        let (v, mask) = encode(&f, &set);
+        prop_assert_eq!(v.len(), ENCODED_DIM);
+        prop_assert_eq!(mask.len(), ENCODED_DIM);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+        prop_assert!(v.iter().all(|x| (0.0..=1.0).contains(x)), "raw encoding is 0/1");
+    }
+
+    #[test]
+    fn onehot_blocks_sum_to_one(f in features()) {
+        let (v, _) = encode(&f, &FeatureSet::default());
+        let nb = BranchOp::ALL.len();
+        let slot = Opcode::ALL.len() + 1;
+        prop_assert_eq!(v[..nb].iter().sum::<f64>(), 1.0);
+        let mut off = nb + 1;
+        for _ in 0..3 {
+            prop_assert_eq!(v[off..off + slot].iter().sum::<f64>(), 1.0);
+            off += slot;
+        }
+        // proc kind one-hot
+        let pk_off = off + 2;
+        prop_assert_eq!(v[pk_off..pk_off + 3].iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn disabled_groups_have_fully_false_masks(f in features()) {
+        let set = FeatureSet { opcode_features: false, context_features: false, successor_features: false };
+        let (_, mask) = encode(&f, &set);
+        prop_assert!(mask.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn masks_depend_only_on_meaningfulness_not_values(f in features()) {
+        let (_, m1) = encode(&f, &FeatureSet::default());
+        let mut altered = f;
+        altered.backward = !altered.backward;
+        altered.taken.has_call = !altered.taken.has_call;
+        let (_, m2) = encode(&altered, &FeatureSet::default());
+        prop_assert_eq!(m1, m2, "mask must not depend on feature *values*");
+    }
+}

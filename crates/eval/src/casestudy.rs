@@ -1,0 +1,93 @@
+//! Figure 2: the `tomcatv` case study — the code fragment that dominates
+//! execution, annotated with edge frequencies, plus how each predictor
+//! handles its branches (§5.2.1's analysis of why the heuristics go wrong
+//! on the Alpha while the profile-based bound stays near zero).
+
+use std::fmt::Write as _;
+
+use esp_heur::{Aphc, BranchCtx, Btfnt};
+use esp_ir::{BlockId, Terminator};
+
+use crate::data::BenchData;
+
+/// Render the Figure 2 case study for a compiled-and-profiled benchmark
+/// (the `repro_tables` binary passes the `tomcatv` analogue).
+pub fn fig2(data: &BenchData) -> String {
+    // Find the function with the most executed conditional branches.
+    let mut per_func: Vec<(esp_ir::FuncId, u64)> = Vec::new();
+    for site in data.prog.branch_sites() {
+        let c = data.profile.counts(site).map_or(0, |c| c.executed);
+        match per_func.iter_mut().find(|(f, _)| *f == site.func) {
+            Some((_, tot)) => *tot += c,
+            None => per_func.push((site.func, c)),
+        }
+    }
+    let Some(&(hot_func, _)) = per_func.iter().max_by_key(|(_, c)| *c) else {
+        return "no conditional branches executed".to_string();
+    };
+    let func = data.prog.func(hot_func);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2: dominant code fragment of `{}` — function `{}`",
+        data.bench.name, func.name
+    );
+    let _ = writeln!(
+        out,
+        "(block execution counts and branch behaviour from the profiled run)\n"
+    );
+
+    // Print the hottest blocks with their branch statistics.
+    let mut hot_blocks: Vec<(BlockId, u64)> = func
+        .iter_blocks()
+        .map(|(id, _)| (id, data.profile.block_count(hot_func, id)))
+        .collect();
+    hot_blocks.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    let show: Vec<BlockId> = {
+        let mut v: Vec<BlockId> = hot_blocks.iter().take(6).map(|(b, _)| *b).collect();
+        v.sort();
+        v
+    };
+
+    let aphc = Aphc::table1_order();
+    for id in show {
+        let block = func.block(id);
+        let count = data.profile.block_count(hot_func, id);
+        let _ = writeln!(out, "{id}:  (executed {count} times)");
+        for insn in &block.insns {
+            let _ = writeln!(out, "    {insn}");
+        }
+        let _ = writeln!(out, "    {}", block.term);
+        if let Terminator::CondBranch { .. } = block.term {
+            let site = esp_ir::BranchId {
+                func: hot_func,
+                block: id,
+            };
+            if let Some(c) = data.profile.counts(site) {
+                let taken_pct = 100.0 * c.taken as f64 / c.executed as f64;
+                let ctx = BranchCtx::new(&data.prog, &data.analysis, site);
+                let show_pred = |p: Option<bool>| match p {
+                    Some(true) => "taken",
+                    Some(false) => "not-taken",
+                    None => "uncovered",
+                };
+                let _ = writeln!(
+                    out,
+                    "      ; actually taken {taken_pct:.1}% — BTFNT: {}, APHC: {}",
+                    show_pred(Some(Btfnt.predict(&ctx))),
+                    show_pred(aphc.predict(&ctx)),
+                );
+                if let Some((h, p)) = aphc.predict_with_source(&ctx) {
+                    let _ = writeln!(
+                        out,
+                        "      ; decided by the {} heuristic (predicts {})",
+                        h.name(),
+                        show_pred(Some(p))
+                    );
+                }
+            }
+        }
+    }
+    out
+}

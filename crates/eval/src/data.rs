@@ -1,0 +1,107 @@
+//! Compiled-and-profiled benchmark data.
+
+use esp_corpus::{suite, Benchmark, Group};
+use esp_exec::Profile;
+use esp_ir::{Lang, Program, ProgramAnalysis};
+use esp_lang::CompilerConfig;
+
+/// One benchmark, compiled under a configuration and profiled once.
+pub struct BenchData {
+    /// The benchmark's identity and personality.
+    pub bench: Benchmark,
+    /// The compiled program.
+    pub prog: Program,
+    /// Its CFG/dominator/loop/pointer analyses.
+    pub analysis: ProgramAnalysis,
+    /// Its single-run branch profile (the paper runs each program once).
+    pub profile: Profile,
+}
+
+impl BenchData {
+    /// Compile and profile one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the benchmark fails to compile or run — both are corpus
+    /// bugs caught by the test suite.
+    pub fn build(bench: &Benchmark, cfg: &CompilerConfig) -> Self {
+        let prog = bench
+            .compile(cfg)
+            .unwrap_or_else(|e| panic!("benchmark `{}` failed to compile: {e}", bench.name));
+        let analysis = ProgramAnalysis::analyze(&prog);
+        let profile = esp_corpus::profile(&prog)
+            .unwrap_or_else(|e| panic!("benchmark `{}` failed to run: {e}", bench.name));
+        BenchData {
+            bench: bench.clone(),
+            prog,
+            analysis,
+            profile,
+        }
+    }
+}
+
+/// The whole suite, compiled and profiled under one configuration.
+pub struct SuiteData {
+    /// Per-benchmark data, in Table 3 order.
+    pub benches: Vec<BenchData>,
+    /// The configuration used.
+    pub config: CompilerConfig,
+}
+
+impl SuiteData {
+    /// Build the full 43-program suite under `cfg`.
+    pub fn build(cfg: &CompilerConfig) -> Self {
+        SuiteData {
+            benches: suite().iter().map(|b| BenchData::build(b, cfg)).collect(),
+            config: *cfg,
+        }
+    }
+
+    /// Build only the named benchmarks (for fast tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn build_subset(names: &[&str], cfg: &CompilerConfig) -> Self {
+        let all = suite();
+        let benches = names
+            .iter()
+            .map(|n| {
+                let b = all
+                    .iter()
+                    .find(|b| b.name == *n)
+                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"));
+                BenchData::build(b, cfg)
+            })
+            .collect();
+        SuiteData {
+            benches,
+            config: *cfg,
+        }
+    }
+
+    /// Indices of benchmarks in `lang`.
+    pub fn lang_indices(&self, lang: Lang) -> Vec<usize> {
+        self.benches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.bench.lang == lang)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of benchmarks in `group`.
+    pub fn group_indices(&self, group: Group) -> Vec<usize> {
+        self.benches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.bench.group == group)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Find a benchmark by name.
+    pub fn by_name(&self, name: &str) -> Option<&BenchData> {
+        self.benches.iter().find(|b| b.bench.name == name)
+    }
+}

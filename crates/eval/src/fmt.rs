@@ -1,0 +1,124 @@
+//! Minimal fixed-width table rendering for terminal output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    separators: Vec<usize>,
+}
+
+impl TextTable {
+    /// Start a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            separators: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Insert a horizontal separator before the next row.
+    pub fn separator(&mut self) {
+        self.separators.push(self.rows.len());
+    }
+
+    /// Render with right-aligned numeric columns (every column except the
+    /// first is right-aligned).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut s = String::new();
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let pad = width[i] - c.chars().count();
+                if i == 0 {
+                    s.push_str(c);
+                    s.push_str(&" ".repeat(pad));
+                } else {
+                    s.push_str(&" ".repeat(pad));
+                    s.push_str(c);
+                }
+            }
+            s.push('\n');
+            s
+        };
+        let rule: String = {
+            let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+            format!("{}\n", "-".repeat(total))
+        };
+        let mut out = fmt_row(&self.header);
+        out.push_str(&rule);
+        for (i, row) in self.rows.iter().enumerate() {
+            if self.separators.contains(&i) {
+                out.push_str(&rule);
+            }
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a whole-number percentage, the way the paper's
+/// tables print miss rates.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}", x * 100.0)
+}
+
+/// Format a fraction as a percentage with one decimal (Table 3 style).
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Program", "Miss"]);
+        t.row(vec!["gcc", "34"]);
+        t.separator();
+        t.row(vec!["overall", "25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("Program"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].starts_with('-'), "separator before overall");
+        // right alignment of the numeric column
+        assert!(lines[2].ends_with("34"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.254), "25");
+        assert_eq!(pct1(0.9777), "97.8");
+    }
+}

@@ -1,0 +1,266 @@
+//! Table 4: the headline comparison — BTFNT, APHC, DSHC(B&L), DSHC(Ours),
+//! ESP and perfect static prediction, per program with group averages.
+
+use esp_core::{leave_one_out, EspConfig, TrainingProgram};
+use esp_corpus::Group;
+use esp_heur::{
+    measure_rates, perfect_predict, Aphc, BranchCtx, Btfnt, Dshc, HeuristicRates,
+};
+use esp_ir::Lang;
+
+use crate::data::SuiteData;
+use crate::fmt::{pct, TextTable};
+use crate::miss::{mean, miss_rate, Prediction};
+
+/// Options for the Table 4 study.
+#[derive(Debug, Clone, Default)]
+pub struct Table4Config {
+    /// ESP learner and feature options.
+    pub esp: EspConfig,
+}
+
+/// One program's Table 4 row (fractions, not percentages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Program name.
+    pub name: String,
+    /// Benchmark group (drives the averages).
+    pub group: Group,
+    /// BTFNT miss rate.
+    pub btfnt: f64,
+    /// APHC (fixed-order Ball–Larus) miss rate.
+    pub aphc: f64,
+    /// DSHC with the published B&L hit rates.
+    pub dshc_bl: f64,
+    /// DSHC with hit rates measured on this corpus.
+    pub dshc_ours: f64,
+    /// ESP (leave-one-out within the program's language group).
+    pub esp: f64,
+    /// Perfect static profile prediction.
+    pub perfect: f64,
+}
+
+/// Compute every row of Table 4. This is the expensive call: it runs one
+/// ESP training fold per program (leave-one-out within the C group and
+/// within the Fortran group, §4).
+pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
+    // Heuristic machinery shared by all programs.
+    let aphc = Aphc::table1_order();
+    let dshc_bl = Dshc::new(HeuristicRates::ball_larus_mips());
+    let measured = measure_rates(
+        suite
+            .benches
+            .iter()
+            .map(|b| (&b.prog, &b.analysis, &b.profile)),
+    );
+    let dshc_ours = Dshc::new(measured);
+
+    // Language-group cross-validation folds.
+    let training: Vec<TrainingProgram<'_>> = suite
+        .benches
+        .iter()
+        .map(|b| TrainingProgram {
+            prog: &b.prog,
+            analysis: &b.analysis,
+            profile: &b.profile,
+        })
+        .collect();
+    // Default to coin-flip scoring; overwritten by the CV folds below. A
+    // language group with fewer than two programs cannot be cross-validated
+    // and keeps the coin-flip rate.
+    let mut esp_miss: Vec<f64> = suite
+        .benches
+        .iter()
+        .map(|b| miss_rate(b, |_| Prediction::Uncovered))
+        .collect();
+    for lang in [Lang::C, Lang::Fort] {
+        let idx = suite.lang_indices(lang);
+        if idx.len() < 2 {
+            continue;
+        }
+        let group: Vec<TrainingProgram<'_>> = idx
+            .iter()
+            .map(|&i| TrainingProgram {
+                prog: training[i].prog,
+                analysis: training[i].analysis,
+                profile: training[i].profile,
+            })
+            .collect();
+        for (fold, &bench_i) in idx.iter().enumerate() {
+            let model = leave_one_out(&group, fold, &cfg.esp);
+            let b = &suite.benches[bench_i];
+            esp_miss[bench_i] = miss_rate(b, |site| {
+                Prediction::from(Some(model.predict_taken(&b.prog, &b.analysis, site)))
+            });
+        }
+    }
+
+    suite
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let ctx_of = |site| BranchCtx::new(&b.prog, &b.analysis, site);
+            Table4Row {
+                name: b.bench.name.to_string(),
+                group: b.bench.group,
+                btfnt: miss_rate(b, |s| Prediction::from(Some(Btfnt.predict(&ctx_of(s))))),
+                aphc: miss_rate(b, |s| Prediction::from(aphc.predict(&ctx_of(s)))),
+                dshc_bl: miss_rate(b, |s| Prediction::from(dshc_bl.predict(&ctx_of(s)))),
+                dshc_ours: miss_rate(b, |s| Prediction::from(dshc_ours.predict(&ctx_of(s)))),
+                esp: esp_miss[i],
+                perfect: miss_rate(b, |s| Prediction::from(perfect_predict(&b.profile, s))),
+            }
+        })
+        .collect()
+}
+
+/// Group-average summary of Table 4 rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Summary {
+    /// `(label, [btfnt, aphc, dshc_bl, dshc_ours, esp, perfect])` per group
+    /// plus the overall average last.
+    pub averages: Vec<(String, [f64; 6])>,
+}
+
+/// Compute group and overall averages in the paper's order.
+pub fn summarize(rows: &[Table4Row]) -> Table4Summary {
+    let avg = |sel: &dyn Fn(&Table4Row) -> bool| -> [f64; 6] {
+        let picked: Vec<&Table4Row> = rows.iter().filter(|r| sel(r)).collect();
+        let col = |f: &dyn Fn(&Table4Row) -> f64| mean(&picked.iter().map(|r| f(r)).collect::<Vec<_>>());
+        [
+            col(&|r| r.btfnt),
+            col(&|r| r.aphc),
+            col(&|r| r.dshc_bl),
+            col(&|r| r.dshc_ours),
+            col(&|r| r.esp),
+            col(&|r| r.perfect),
+        ]
+    };
+    let mut averages = Vec::new();
+    for (label, group) in [
+        ("Other C Avg", Group::OtherC),
+        ("SPEC C Avg", Group::SpecC),
+        ("SPEC Fortran Avg", Group::SpecFortran),
+        ("Perf Club Avg", Group::PerfectClub),
+    ] {
+        averages.push((label.to_string(), avg(&|r: &Table4Row| r.group == group)));
+    }
+    averages.push(("Overall Avg".to_string(), avg(&|_| true)));
+    Table4Summary { averages }
+}
+
+/// Render Table 4 in the paper's layout.
+pub fn table4(suite: &SuiteData, cfg: &Table4Config) -> String {
+    let rows = compute(suite, cfg);
+    render_rows(suite, &rows)
+}
+
+/// Render precomputed rows (so callers can reuse `compute`'s output).
+pub fn render_rows(suite: &SuiteData, rows: &[Table4Row]) -> String {
+    let summary = summarize(rows);
+    let mut t = TextTable::new(vec![
+        "Program",
+        "BTFNT",
+        "APHC",
+        "DSHC(B&L)",
+        "DSHC(Ours)",
+        "ESP",
+        "Perfect",
+    ]);
+    let mut prev_group = None;
+    for row in rows {
+        if prev_group.is_some() && prev_group != Some(row.group) {
+            // group average row before moving on
+            if let Some((label, a)) = summary
+                .averages
+                .iter()
+                .find(|(l, _)| l.starts_with(prev_group_label(prev_group.expect("set"))))
+            {
+                t.separator();
+                t.row(avg_row(label, a));
+                t.separator();
+            }
+        }
+        prev_group = Some(row.group);
+        t.row(vec![
+            row.name.clone(),
+            pct(row.btfnt),
+            pct(row.aphc),
+            pct(row.dshc_bl),
+            pct(row.dshc_ours),
+            pct(row.esp),
+            pct(row.perfect),
+        ]);
+    }
+    if let Some(g) = prev_group {
+        if let Some((label, a)) = summary
+            .averages
+            .iter()
+            .find(|(l, _)| l.starts_with(prev_group_label(g)))
+        {
+            t.separator();
+            t.row(avg_row(label, a));
+        }
+    }
+    let (label, a) = summary.averages.last().expect("overall average exists");
+    t.separator();
+    t.row(avg_row(label, a));
+    format!(
+        "Table 4: branch misprediction rates ({})\n\n{}",
+        suite.config.name,
+        t.render()
+    )
+}
+
+fn prev_group_label(g: Group) -> &'static str {
+    match g {
+        Group::OtherC => "Other C",
+        Group::SpecC => "SPEC C",
+        Group::SpecFortran => "SPEC Fortran",
+        Group::PerfectClub => "Perf Club",
+    }
+}
+
+fn avg_row(label: &str, a: &[f64; 6]) -> Vec<String> {
+    let mut v = vec![label.to_string()];
+    v.extend(a.iter().map(|x| pct(*x)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, group: Group, base: f64) -> Table4Row {
+        Table4Row {
+            name: name.to_string(),
+            group,
+            btfnt: base + 0.05,
+            aphc: base + 0.03,
+            dshc_bl: base + 0.03,
+            dshc_ours: base + 0.02,
+            esp: base + 0.01,
+            perfect: base,
+        }
+    }
+
+    #[test]
+    fn summarize_averages_per_group_and_overall() {
+        let rows = vec![
+            row("a", Group::OtherC, 0.10),
+            row("b", Group::OtherC, 0.20),
+            row("c", Group::SpecFortran, 0.30),
+        ];
+        let s = summarize(&rows);
+        assert_eq!(s.averages.len(), 5);
+        let other_c = &s.averages[0];
+        assert!(other_c.0.starts_with("Other C"));
+        assert!((other_c.1[5] - 0.15).abs() < 1e-12, "perfect avg of 0.10/0.20");
+        let overall = s.averages.last().expect("overall");
+        assert!((overall.1[0] - (0.15 + 0.25 + 0.35) / 3.0).abs() < 1e-12);
+        // empty groups average to zero rather than NaN
+        let spec_c = &s.averages[1];
+        assert_eq!(spec_c.1[0], 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Execution errors.
+
+use std::fmt;
+
+use esp_ir::{BlockId, FuncId};
+
+/// Why an execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The dynamic instruction budget was exhausted
+    /// ([`crate::ExecLimits::max_insns`]).
+    InsnLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The call stack exceeded [`crate::ExecLimits::max_call_depth`].
+    CallDepth {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A heap allocation would exceed [`crate::ExecLimits::max_mem_words`].
+    OutOfMemory {
+        /// The configured limit in words.
+        limit: usize,
+    },
+    /// A load or store addressed the null pointer (address 0) or memory
+    /// outside the allocated heap.
+    BadAddress {
+        /// The faulting word address.
+        addr: i64,
+        /// Function executing the access.
+        func: FuncId,
+        /// Block executing the access.
+        block: BlockId,
+    },
+    /// An operation received the wrong kind of value (always a code-generator
+    /// bug; the front ends are statically typed).
+    Type {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it received.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InsnLimit { limit } => {
+                write!(f, "dynamic instruction limit of {limit} exhausted")
+            }
+            ExecError::CallDepth { limit } => write!(f, "call depth exceeded {limit}"),
+            ExecError::OutOfMemory { limit } => {
+                write!(f, "heap exceeded {limit} words")
+            }
+            ExecError::BadAddress { addr, func, block } => {
+                write!(f, "invalid memory address {addr} in {func}:{block}")
+            }
+            ExecError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

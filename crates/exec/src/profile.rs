@@ -1,0 +1,197 @@
+//! Dynamic branch profiles.
+
+use std::collections::BTreeMap;
+
+use esp_ir::{BlockId, BranchId, FuncId};
+
+/// Dynamic counts for one static conditional-branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchCounts {
+    /// How many times the branch executed.
+    pub executed: u64,
+    /// How many times it was taken (`taken <= executed`).
+    pub taken: u64,
+}
+
+impl BranchCounts {
+    /// Fraction of executions in which the branch was taken, or `None` when
+    /// it never executed.
+    pub fn taken_prob(&self) -> Option<f64> {
+        (self.executed > 0).then(|| self.taken as f64 / self.executed as f64)
+    }
+
+    /// Mispredictions of the *perfect static* predictor for this branch: the
+    /// minority direction count (the paper's "perfect static profile
+    /// prediction", Table 4 last column).
+    pub fn perfect_misses(&self) -> u64 {
+        self.taken.min(self.executed - self.taken)
+    }
+}
+
+/// The dynamic profile of one program run.
+///
+/// Keys are static [`BranchId`]s; branch sites that never executed do not
+/// appear (callers that need all sites should iterate
+/// [`esp_ir::Program::branch_sites`] and treat missing entries as zero).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    branches: BTreeMap<BranchId, BranchCounts>,
+    block_exec: BTreeMap<(FuncId, BlockId), u64>,
+    /// Total dynamic IR instructions executed (terminators included).
+    pub dyn_insns: u64,
+    /// Total dynamic conditional-branch executions.
+    pub dyn_cond_branches: u64,
+}
+
+impl Profile {
+    /// Counts for one branch site, or `None` if it never executed.
+    pub fn counts(&self, id: BranchId) -> Option<&BranchCounts> {
+        self.branches.get(&id)
+    }
+
+    /// Iterate over executed branch sites in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BranchId, &BranchCounts)> {
+        self.branches.iter()
+    }
+
+    /// Number of distinct branch sites that executed at least once.
+    pub fn executed_sites(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The *normalized branch weight* of a site (§3.1): its execution count
+    /// divided by the program's total conditional-branch executions. Zero for
+    /// never-executed sites.
+    pub fn weight(&self, id: BranchId) -> f64 {
+        if self.dyn_cond_branches == 0 {
+            return 0.0;
+        }
+        self.branches
+            .get(&id)
+            .map(|c| c.executed as f64 / self.dyn_cond_branches as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Dynamic execution count of a basic block (used by the Figure 2 case
+    /// study). Zero when the block never ran.
+    pub fn block_count(&self, func: FuncId, block: BlockId) -> u64 {
+        self.block_exec.get(&(func, block)).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all executed conditional branches that were taken
+    /// (Table 3's "%Taken" column). `None` when no branch ran.
+    pub fn overall_taken_fraction(&self) -> Option<f64> {
+        if self.dyn_cond_branches == 0 {
+            return None;
+        }
+        let taken: u64 = self.branches.values().map(|c| c.taken).sum();
+        Some(taken as f64 / self.dyn_cond_branches as f64)
+    }
+
+    /// The number of hottest branch sites that together account for at least
+    /// `fraction` (in `[0, 1]`) of all executed conditional branches —
+    /// Table 3's quantile columns (Q-50 … Q-100).
+    pub fn quantile_sites(&self, fraction: f64) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1], got {fraction}"
+        );
+        if self.dyn_cond_branches == 0 {
+            return 0;
+        }
+        let mut counts: Vec<u64> = self.branches.values().map(|c| c.executed).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let target = (fraction * self.dyn_cond_branches as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+
+    pub(crate) fn record_branch(&mut self, id: BranchId, taken: bool) {
+        let c = self.branches.entry(id).or_default();
+        c.executed += 1;
+        c.taken += taken as u64;
+        self.dyn_cond_branches += 1;
+    }
+
+    pub(crate) fn record_block(&mut self, func: FuncId, block: BlockId) {
+        *self.block_exec.entry((func, block)).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(b: u32) -> BranchId {
+        BranchId {
+            func: FuncId(0),
+            block: BlockId(b),
+        }
+    }
+
+    #[test]
+    fn counts_and_weight() {
+        let mut p = Profile::default();
+        for _ in 0..3 {
+            p.record_branch(bid(0), true);
+        }
+        p.record_branch(bid(1), false);
+        assert_eq!(p.counts(bid(0)).unwrap().executed, 3);
+        assert_eq!(p.counts(bid(0)).unwrap().taken, 3);
+        assert_eq!(p.weight(bid(0)), 0.75);
+        assert_eq!(p.weight(bid(9)), 0.0);
+        assert_eq!(p.executed_sites(), 2);
+        assert_eq!(p.overall_taken_fraction(), Some(0.75));
+    }
+
+    #[test]
+    fn perfect_misses_is_minority_count() {
+        let c = BranchCounts {
+            executed: 10,
+            taken: 7,
+        };
+        assert_eq!(c.perfect_misses(), 3);
+        assert_eq!(c.taken_prob(), Some(0.7));
+        let never = BranchCounts::default();
+        assert_eq!(never.taken_prob(), None);
+    }
+
+    #[test]
+    fn quantiles_count_hottest_sites() {
+        let mut p = Profile::default();
+        // site 0: 90 executions, site 1: 9, site 2: 1
+        for _ in 0..90 {
+            p.record_branch(bid(0), true);
+        }
+        for _ in 0..9 {
+            p.record_branch(bid(1), true);
+        }
+        p.record_branch(bid(2), true);
+        assert_eq!(p.quantile_sites(0.5), 1);
+        assert_eq!(p.quantile_sites(0.9), 1);
+        assert_eq!(p.quantile_sites(0.95), 2);
+        assert_eq!(p.quantile_sites(1.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn quantile_rejects_bad_fraction() {
+        let p = Profile::default();
+        let _ = p.quantile_sites(1.5);
+    }
+
+    #[test]
+    fn empty_profile_edge_cases() {
+        let p = Profile::default();
+        assert_eq!(p.quantile_sites(0.5), 0);
+        assert_eq!(p.overall_taken_fraction(), None);
+        assert_eq!(p.weight(bid(0)), 0.0);
+        assert_eq!(p.block_count(FuncId(0), BlockId(0)), 0);
+    }
+}

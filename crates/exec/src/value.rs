@@ -1,0 +1,104 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A runtime value held in a register or memory word.
+///
+/// The IR is untyped; the interpreter checks dynamically that operations
+/// receive the kind of value they expect and reports [`crate::ExecError::Type`]
+/// otherwise (such an error always indicates a code-generator bug, since the
+/// front ends are statically typed). Pointers are integer word addresses;
+/// address 0 is the null pointer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An integer (also used for booleans, flags and addresses).
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+}
+
+impl Default for Value {
+    /// Uninitialised registers and memory read as integer zero, matching the
+    /// zero-filled BSS of a real executable.
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ExecError::Type`] when the value is a float.
+    pub fn as_int(self) -> Result<i64, crate::ExecError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Float(_) => Err(crate::ExecError::Type {
+                expected: "int",
+                found: "float",
+            }),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ExecError::Type`] when the value is an integer.
+    pub fn as_float(self) -> Result<f64, crate::ExecError> {
+        match self {
+            Value::Float(v) => Ok(v),
+            Value::Int(_) => Err(crate::ExecError::Type {
+                expected: "float",
+                found: "int",
+            }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_enforce_kind() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert!(Value::Int(3).as_float().is_err());
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Value::Float(2.5).as_int().is_err());
+    }
+
+    #[test]
+    fn default_is_integer_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-branch prediction context.
+
+use esp_ir::{
+    BasicBlock, BlockId, BranchId, FuncAnalysis, Function, Program, ProgramAnalysis, Terminator,
+};
+
+/// Everything a predictor may inspect about one static branch site.
+#[derive(Clone, Copy)]
+pub struct BranchCtx<'a> {
+    /// The whole program.
+    pub prog: &'a Program,
+    /// The function containing the branch.
+    pub func: &'a Function,
+    /// Analyses of that function.
+    pub analysis: &'a FuncAnalysis,
+    /// The branch site.
+    pub site: BranchId,
+}
+
+impl<'a> BranchCtx<'a> {
+    /// Build a context for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site.block` does not end in a conditional branch.
+    pub fn new(prog: &'a Program, analysis: &'a ProgramAnalysis, site: BranchId) -> Self {
+        let func = prog.func(site.func);
+        let ctx = BranchCtx {
+            prog,
+            func,
+            analysis: analysis.func(site.func),
+            site,
+        };
+        let _ = ctx.arms(); // asserts the terminator shape
+        ctx
+    }
+
+    /// The block ending in the branch.
+    pub fn block(&self) -> &'a BasicBlock {
+        self.func.block(self.site.block)
+    }
+
+    /// `(taken, not_taken)` successor blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not end in a conditional branch.
+    pub fn arms(&self) -> (BlockId, BlockId) {
+        match self.block().term {
+            Terminator::CondBranch {
+                taken, not_taken, ..
+            } => (taken, not_taken),
+            ref other => panic!(
+                "{} does not end in a conditional branch (found {other:?})",
+                self.site
+            ),
+        }
+    }
+
+    /// Whether the branch is backward (taken target at or before the branch
+    /// in layout order).
+    pub fn is_backward(&self) -> bool {
+        let (taken, _) = self.arms();
+        self.analysis.is_backward(self.site.block, taken)
+    }
+
+    /// Whether `succ` post-dominates the branch block.
+    pub fn postdominates(&self, succ: BlockId) -> bool {
+        self.analysis.pdom.dominates(succ, self.site.block)
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline program-based branch predictors: BTFNT, the nine Ball–Larus
+//! heuristics (Table 1), their fixed-order combination (APHC), the
+//! Dempster–Shafer combination of Wu & Larus (DSHC), and the perfect static
+//! profile predictor.
+//!
+//! All predictors answer, per static branch site, either `Some(taken?)` or
+//! `None` ("not covered"). Following the paper's methodology (Table 5),
+//! uncovered branches are scored as coin flips — an expected miss rate of
+//! 50% — by the evaluation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use esp_heur::{Btfnt, Aphc, BranchCtx};
+//! use esp_ir::{Lang, ProgramAnalysis};
+//! use esp_lang::{compile_source, CompilerConfig};
+//!
+//! let prog = compile_source(
+//!     "demo",
+//!     "int main() { int i; int s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+//!     Lang::C,
+//!     &CompilerConfig::default(),
+//! ).unwrap();
+//! let analysis = ProgramAnalysis::analyze(&prog);
+//! let aphc = Aphc::table1_order();
+//! for site in prog.branch_sites() {
+//!     let ctx = BranchCtx::new(&prog, &analysis, site);
+//!     let _maybe = aphc.predict(&ctx);       // Option<bool>
+//!     let _always = Btfnt.predict(&ctx);     // bool — BTFNT covers everything
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balllarus;
+mod combine;
+mod ctx;
+pub mod order;
+mod perfect;
+mod rates;
+
+pub use balllarus::{Btfnt, Heuristic};
+pub use combine::{Aphc, Dshc};
+pub use ctx::BranchCtx;
+pub use order::{evaluate_order, exhaustive_order, greedy_order};
+pub use perfect::perfect_predict;
+pub use rates::{measure_rates, HeuristicRates};

@@ -1,0 +1,51 @@
+//! The perfect static predictor: per-branch majority direction taken from
+//! the program's *own* profile (the upper bound for any static scheme;
+//! Table 4's last column).
+
+use esp_exec::Profile;
+use esp_ir::BranchId;
+
+/// The profile-majority prediction for `site`, or `None` when the branch
+/// never executed (no majority exists).
+pub fn perfect_predict(profile: &Profile, site: BranchId) -> Option<bool> {
+    let c = profile.counts(site)?;
+    Some(2 * c.taken >= c.executed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_exec::{run, ExecLimits};
+    use esp_ir::Lang;
+    use esp_lang::{compile_source, CompilerConfig};
+
+    #[test]
+    fn perfect_matches_majority() {
+        let src = r#"
+            int main() {
+                int i = 0;
+                int s = 0;
+                while (i < 100) {
+                    if (i % 10 == 0) { s = s + 100; }
+                    i = i + 1;
+                }
+                return s;
+            }
+        "#;
+        let prog = compile_source("t", src, Lang::C, &CompilerConfig::default()).unwrap();
+        let profile = run(&prog, &ExecLimits::default()).unwrap().profile;
+        for site in prog.branch_sites() {
+            match (profile.counts(site), perfect_predict(&profile, site)) {
+                (Some(c), Some(p)) => {
+                    let majority_taken = c.taken * 2 >= c.executed;
+                    assert_eq!(p, majority_taken);
+                    // perfect misses = minority mass
+                    let misses = if p { c.executed - c.taken } else { c.taken };
+                    assert_eq!(misses, c.perfect_misses());
+                }
+                (None, None) => {}
+                other => panic!("inconsistent {other:?}"),
+            }
+        }
+    }
+}

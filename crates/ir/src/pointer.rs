@@ -1,0 +1,184 @@
+//! Pointer-likeness analysis.
+//!
+//! Ball & Larus's Pointer heuristic needs to know whether a comparison
+//! involves *pointers* — information a binary-level tool must infer rather
+//! than read from types. This module reproduces that inference: a register
+//! is pointer-like if it is defined by an allocation, used as the base of a
+//! load or store, or connected to such a register through copies, loads of
+//! link fields and pointer arithmetic.
+
+use crate::insn::{AluOp, Insn};
+use crate::program::{Function, Reg};
+
+/// The set of pointer-like registers of one function.
+#[derive(Debug, Clone)]
+pub struct PointerSet {
+    ptr: Vec<bool>,
+}
+
+impl PointerSet {
+    /// Infer pointer-like registers of `func` by forward/backward fixpoint.
+    pub fn analyze(func: &Function) -> Self {
+        let n = func.num_regs as usize;
+        let mut ptr = vec![false; n];
+
+        // Seeds: allocation results and address operands of memory ops.
+        for block in &func.blocks {
+            for insn in &block.insns {
+                match insn {
+                    Insn::Alloc { dst, .. } | Insn::AllocImm { dst, .. } => {
+                        ptr[dst.index()] = true;
+                    }
+                    Insn::Load { base, .. } | Insn::Store { base, .. } => {
+                        ptr[base.index()] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Propagate through copies and pointer arithmetic until stable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mark = |r: Reg, ptr: &mut Vec<bool>| -> bool {
+                if !ptr[r.index()] {
+                    ptr[r.index()] = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            for block in &func.blocks {
+                for insn in &block.insns {
+                    match insn {
+                        // Copies propagate both ways: an address copied is an
+                        // address at both ends.
+                        Insn::Mov { dst, src } | Insn::CMov { dst, src, .. } => {
+                            if ptr[src.index()] && mark(*dst, &mut ptr) {
+                                changed = true;
+                            }
+                            if ptr[dst.index()] && mark(*src, &mut ptr) {
+                                changed = true;
+                            }
+                        }
+                        // ptr ± int stays a pointer (array indexing); and
+                        // when the *result* is known to be an address but
+                        // neither operand is marked yet, the left operand is
+                        // the base (the code generators emit base-first), so
+                        // addresses flow backward to array parameters used
+                        // only through computed indexing.
+                        Insn::Alu {
+                            op: AluOp::Add | AluOp::Sub,
+                            dst,
+                            a,
+                            b,
+                        } => {
+                            if (ptr[a.index()] || ptr[b.index()]) && mark(*dst, &mut ptr) {
+                                changed = true;
+                            }
+                            if ptr[dst.index()]
+                                && !ptr[a.index()]
+                                && !ptr[b.index()]
+                                && mark(*a, &mut ptr)
+                            {
+                                changed = true;
+                            }
+                        }
+                        Insn::AluImm {
+                            op: AluOp::Add | AluOp::Sub,
+                            dst,
+                            a,
+                            ..
+                        } => {
+                            if ptr[a.index()] && mark(*dst, &mut ptr) {
+                                changed = true;
+                            }
+                            if ptr[dst.index()] && mark(*a, &mut ptr) {
+                                changed = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        PointerSet { ptr }
+    }
+
+    /// Whether `r` is pointer-like.
+    pub fn is_pointer(&self, r: Reg) -> bool {
+        self.ptr.get(r.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of pointer-like registers (diagnostics).
+    pub fn count(&self) -> usize {
+        self.ptr.iter().filter(|p| **p).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::program::Lang;
+
+    #[test]
+    fn alloc_and_bases_are_pointers() {
+        let mut b = FunctionBuilder::new("f", 0, Lang::C);
+        let p = b.fresh_reg();
+        let q = b.fresh_reg();
+        let v = b.fresh_reg();
+        let x = b.fresh_reg();
+        let e = b.entry_block();
+        b.push(e, Insn::AllocImm { dst: p, words: 4 });
+        b.push(e, Insn::Mov { dst: q, src: p }); // copy of a pointer
+        b.push_load(e, v, q, 0); // v = q[0] (value, not pointer)
+        b.push_load_imm(e, x, 7); // plain integer
+        b.set_return(e, Some(v));
+        let f = b.finish();
+        let ps = PointerSet::analyze(&f);
+        assert!(ps.is_pointer(p));
+        assert!(ps.is_pointer(q));
+        assert!(!ps.is_pointer(v));
+        assert!(!ps.is_pointer(x));
+        assert_eq!(ps.count(), 2);
+    }
+
+    #[test]
+    fn pointer_arithmetic_propagates() {
+        let mut b = FunctionBuilder::new("f", 1, Lang::C);
+        let base = b.params()[0];
+        let idx = b.fresh_reg();
+        let addr = b.fresh_reg();
+        let v = b.fresh_reg();
+        let e = b.entry_block();
+        b.push_load_imm(e, idx, 3);
+        b.push_alu(e, crate::insn::AluOp::Add, addr, base, idx);
+        b.push_load(e, v, addr, 0);
+        b.set_return(e, Some(v));
+        let f = b.finish();
+        let ps = PointerSet::analyze(&f);
+        assert!(ps.is_pointer(base), "base flows backward from load base");
+        assert!(ps.is_pointer(addr));
+        assert!(!ps.is_pointer(idx), "index is not a pointer");
+    }
+
+    #[test]
+    fn linked_list_next_field_pattern() {
+        // p = alloc; n = p[1]; (n used as base later) => n is a pointer
+        let mut b = FunctionBuilder::new("f", 0, Lang::C);
+        let p = b.fresh_reg();
+        let n = b.fresh_reg();
+        let v = b.fresh_reg();
+        let e = b.entry_block();
+        b.push(e, Insn::AllocImm { dst: p, words: 2 });
+        b.push_load(e, n, p, 1);
+        b.push_load(e, v, n, 0);
+        b.set_return(e, Some(v));
+        let f = b.finish();
+        let ps = PointerSet::analyze(&f);
+        assert!(ps.is_pointer(n), "loaded link used as base is a pointer");
+    }
+}

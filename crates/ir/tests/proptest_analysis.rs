@@ -1,0 +1,205 @@
+//! Property tests for the CFG analyses: dominators checked against the
+//! naive set-based definition, post-dominator duality, RPO validity, and
+//! natural-loop invariants — all over randomly generated CFGs.
+
+use esp_ir::{
+    BlockId, BranchOp, Cfg, DomTree, FunctionBuilder, Lang, LoopInfo, Reg, Terminator,
+};
+use proptest::prelude::*;
+
+/// A compact description of a random CFG: per block, a terminator shape and
+/// target indices (taken modulo the block count at build time).
+#[derive(Debug, Clone)]
+enum TermShape {
+    Jump(usize),
+    Cond(usize, usize),
+    Ret,
+}
+
+fn term_shape() -> impl Strategy<Value = TermShape> {
+    prop_oneof![
+        3 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| TermShape::Cond(a, b)),
+        2 => any::<usize>().prop_map(TermShape::Jump),
+        1 => Just(TermShape::Ret),
+    ]
+}
+
+fn random_function(shapes: Vec<TermShape>) -> esp_ir::Function {
+    let n = shapes.len().max(1);
+    let mut b = FunctionBuilder::new("rand", 0, Lang::C);
+    let r = b.fresh_reg();
+    for _ in 1..n {
+        b.new_block();
+    }
+    b.push_load_imm(BlockId(0), r, 1);
+    for (i, shape) in shapes.iter().enumerate().take(n) {
+        let id = BlockId(i as u32);
+        match shape {
+            TermShape::Jump(t) => b.set_jump(id, BlockId((t % n) as u32)),
+            TermShape::Cond(t, f) => b.set_cond_branch(
+                id,
+                BranchOp::Bne,
+                r,
+                None,
+                BlockId((t % n) as u32),
+                BlockId((f % n) as u32),
+            ),
+            TermShape::Ret => b.set_return(id, None),
+        }
+    }
+    b.finish()
+}
+
+/// Naive dominance: `a` dominates `b` iff `b` is reachable and removing `a`
+/// makes `b` unreachable from the entry (or `a == b`).
+fn naive_dominates(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    if !cfg.is_reachable(b) {
+        return false;
+    }
+    // BFS from entry avoiding `a`.
+    let mut seen = vec![false; cfg.num_blocks()];
+    let mut stack = vec![BlockId(0)];
+    if a == BlockId(0) {
+        return true; // entry dominates everything reachable
+    }
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        for e in cfg.succs(x) {
+            if e.to != a && !seen[e.to.index()] {
+                seen[e.to.index()] = true;
+                stack.push(e.to);
+            }
+        }
+    }
+    !seen[b.index()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominators_match_naive_definition(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let n = cfg.num_blocks();
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (BlockId(a as u32), BlockId(b as u32));
+                if !cfg.is_reachable(b) {
+                    continue; // dominance undefined off the reachable region
+                }
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    naive_dominates(&cfg, a, b),
+                    "a={} b={}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_is_a_permutation_with_entry_first(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        prop_assert_eq!(rpo.len(), cfg.num_blocks());
+        prop_assert_eq!(rpo[0], BlockId(0));
+        let mut seen = vec![false; cfg.num_blocks()];
+        for b in &rpo {
+            prop_assert!(!seen[b.index()]);
+            seen[b.index()] = true;
+        }
+    }
+
+    #[test]
+    fn back_edges_iff_target_dominates_source(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopInfo::new(&cfg, &dom);
+        for e in cfg.edges() {
+            let expected = cfg.is_reachable(e.from) && dom.dominates(e.to, e.from);
+            prop_assert_eq!(
+                loops.is_back_edge(e.from, e.to),
+                expected,
+                "edge {} -> {}", e.from, e.to
+            );
+        }
+    }
+
+    #[test]
+    fn loop_headers_dominate_their_bodies(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopInfo::new(&cfg, &dom);
+        for l in loops.loops() {
+            for i in 0..cfg.num_blocks() {
+                let b = BlockId(i as u32);
+                if l.contains(b) {
+                    prop_assert!(
+                        dom.dominates(l.header, b),
+                        "header {} must dominate body block {}", l.header, b
+                    );
+                }
+            }
+            // latches are body members carrying the back edge
+            for latch in &l.latches {
+                prop_assert!(l.contains(*latch));
+                prop_assert!(loops.is_back_edge(*latch, l.header));
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_respect_exit_reachability(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let pdom = DomTree::postdominators(&cfg);
+        // every exit block post-dominates itself and nothing it can't reach
+        for i in 0..cfg.num_blocks() {
+            let b = BlockId(i as u32);
+            prop_assert!(pdom.dominates(b, b));
+            if cfg.succs(b).is_empty() {
+                // an exit can only be post-dominated by itself
+                for j in 0..cfg.num_blocks() {
+                    let a = BlockId(j as u32);
+                    if a != b {
+                        prop_assert!(!pdom.dominates(a, b), "{} pdom exit {}", a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exit_edges_leave_some_loop(shapes in prop::collection::vec(term_shape(), 1..14)) {
+        let f = random_function(shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopInfo::new(&cfg, &dom);
+        for e in cfg.edges() {
+            let expected = loops
+                .loops()
+                .iter()
+                .any(|l| l.contains(e.from) && !l.contains(e.to));
+            prop_assert_eq!(loops.is_exit_edge(e.from, e.to), expected);
+        }
+    }
+}
+
+#[test]
+fn terminator_successors_are_consistent_with_cfg() {
+    // cheap determinism check reused by the property harness
+    let f = random_function(vec![TermShape::Cond(1, 2), TermShape::Jump(0), TermShape::Ret]);
+    let cfg = Cfg::new(&f);
+    for (id, block) in f.iter_blocks() {
+        let succs: Vec<BlockId> = cfg.succs(id).iter().map(|e| e.to).collect();
+        assert_eq!(succs, block.term.successors());
+    }
+    let _ = (Reg(0), Terminator::Return { value: None });
+}

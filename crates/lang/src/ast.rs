@@ -1,0 +1,268 @@
+//! The shared abstract syntax tree produced by both the Cee and Fort front
+//! ends.
+
+use esp_ir::Lang;
+
+/// Source-level types.
+///
+/// Pointers are word-addressed and carry their element type so loads know
+/// whether they produce integers or floats. Following 1990s C practice (and
+/// because the Pointer heuristic must be detectable from the *binary* level,
+/// not the source level), integers and pointers are mutually assignable and
+/// comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (also booleans).
+    Int,
+    /// Double-precision float.
+    Float,
+    /// Pointer to integer words.
+    PtrInt,
+    /// Pointer to float words.
+    PtrFloat,
+}
+
+impl Type {
+    /// Whether the type is integer-compatible (integers and both pointer
+    /// kinds).
+    pub fn is_intlike(self) -> bool {
+        !matches!(self, Type::Float)
+    }
+
+    /// Whether the type is a pointer.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::PtrInt | Type::PtrFloat)
+    }
+
+    /// Element type of a pointer (what `p[i]` yields).
+    pub fn elem(self) -> Option<Type> {
+        match self {
+            Type::PtrInt => Some(Type::Int),
+            Type::PtrFloat => Some(Type::Float),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Short-circuit `&&`
+    And,
+    /// Short-circuit `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this is a comparison producing a boolean integer.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this is a short-circuit logical operator.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (int or float).
+    Neg,
+    /// Logical not (int): `!e` is `e == 0`.
+    Not,
+    /// Float absolute value (`fabs` / `ABS`).
+    Abs,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// The null pointer literal.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation (including short-circuit logicals).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `p[i]` — load through a pointer.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `alloc(n)` — allocate `n` fresh heap words, yielding a pointer whose
+    /// element type is given.
+    Alloc(Type, Box<Expr>),
+    /// Type cast: `(int) e`, `(float) e`, `(int*) e`, `(float*) e` in Cee;
+    /// `INT(e)` / `REAL(e)` in Fort.
+    Cast(Type, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// `p[i]` — store through a pointer.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration with optional initializer (uninitialised scalars
+    /// read as zero; array declarations allocate).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initialiser.
+        init: Option<Expr>,
+    },
+    /// Assignment.
+    Assign(LValue, Expr),
+    /// Two-armed conditional.
+    If {
+        /// Condition (integer-compatible).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_blk: Vec<Stmt>,
+    },
+    /// Pre-test loop.
+    While {
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Post-test loop (`do { … } while (cond)`), also produced by the
+    /// loop-rotation pass.
+    DoWhile {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Continuation condition.
+        cond: Expr,
+    },
+    /// Counted loop (`for` in Cee, `DO` in Fort): `var = from; while (var <=
+    /// to) { body; var += step; }` with `step` a nonzero constant.
+    For {
+        /// Induction variable (must be declared already or is declared
+        /// implicitly as `Int`).
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Inclusive upper bound (lower bound when stepping down).
+        to: Expr,
+        /// Constant step; negative steps count down.
+        step: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Multi-way dispatch on an integer selector; cases carry constant
+    /// labels.
+    Switch {
+        /// Selector expression.
+        selector: Expr,
+        /// `(label, body)` cases.
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// Default body (empty when absent).
+        default: Vec<Stmt>,
+    },
+    /// Function return.
+    Return(Option<Expr>),
+    /// Exit the innermost loop.
+    Break,
+    /// Skip to the next iteration of the innermost loop.
+    Continue,
+    /// Expression evaluated for side effects (a call).
+    ExprStmt(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Return type (`None` = void subroutine).
+    pub ret: Option<Type>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source language.
+    pub lang: Lang,
+}
+
+/// A whole source program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Program name.
+    pub name: String,
+    /// Function definitions; one must be called `main` and take no
+    /// parameters.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Module {
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::Int.is_intlike());
+        assert!(Type::PtrInt.is_intlike());
+        assert!(!Type::Float.is_intlike());
+        assert!(Type::PtrFloat.is_ptr());
+        assert!(!Type::Int.is_ptr());
+        assert_eq!(Type::PtrFloat.elem(), Some(Type::Float));
+        assert_eq!(Type::Int.elem(), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+}

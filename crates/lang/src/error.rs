@@ -1,0 +1,96 @@
+//! Front-end error types.
+
+use std::fmt;
+
+/// A lexing or parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the failure.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A semantic (type-checking) failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// The function being checked.
+    pub func: String,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl TypeError {
+    pub(crate) fn new(func: impl Into<String>, msg: impl Into<String>) -> Self {
+        TypeError {
+            func: func.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error in `{}`: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Any front-end failure (parse, type-check, or code-generation validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Type checking failed.
+    Type(TypeError),
+    /// The generated IR failed structural validation (a compiler bug).
+    Codegen(esp_ir::ValidateError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => e.fmt(f),
+            CompileError::Type(e) => e.fmt(f),
+            CompileError::Codegen(e) => write!(f, "codegen produced invalid IR: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}
+
+impl From<esp_ir::ValidateError> for CompileError {
+    fn from(e: esp_ir::ValidateError) -> Self {
+        CompileError::Codegen(e)
+    }
+}

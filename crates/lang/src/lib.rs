@@ -1,0 +1,44 @@
+//! Cee and Fort front ends, optimizer and IR code generator.
+//!
+//! This crate is the reproduction's stand-in for the DEC C and Fortran
+//! compilers of the paper: it turns source text in two small surface
+//! languages into [`esp_ir`] programs, under a configurable pass pipeline
+//! ([`CompilerConfig`]) whose knobs — ISA flavour, loop rotation, loop
+//! unrolling, if-conversion — are exactly the compiler differences the
+//! paper's §5.2 sensitivity studies examine.
+//!
+//! # Example
+//!
+//! ```
+//! use esp_lang::{compile_source, CompilerConfig};
+//! use esp_ir::Lang;
+//!
+//! let prog = compile_source(
+//!     "demo",
+//!     "int main() { int i; int s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+//!     Lang::C,
+//!     &CompilerConfig::default(),
+//! )?;
+//! let out = esp_exec::run(&prog, &esp_exec::ExecLimits::default()).unwrap();
+//! assert_eq!(out.ret, Some(esp_exec::Value::Int(45)));
+//! # Ok::<(), esp_lang::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cee;
+pub mod check;
+pub mod config;
+pub mod error;
+pub mod fort;
+pub mod ir_opt;
+mod lower;
+pub mod opt;
+pub mod scheme;
+
+pub use check::{check, Signatures};
+pub use config::{compile_module, compile_source, CompilerConfig, OptLevel};
+pub use error::{CompileError, ParseError, TypeError};
+pub use lower::LowerOptions;

@@ -1,0 +1,188 @@
+//! Differential compilation: random programs must compute the same result
+//! under every compiler configuration (O0, rotated, unrolled, if-converted,
+//! MIPS flavour). This exercises the whole optimizer + codegen pipeline
+//! against the interpreter as the semantic oracle.
+
+use esp_lang::ast::{BinOp, Expr, FuncDecl, LValue, Module, Stmt, Type};
+use esp_lang::{compile_module, CompilerConfig};
+use esp_ir::Lang;
+use proptest::prelude::*;
+
+const NUM_VARS: u8 = 4;
+const NUM_LOOP_VARS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum GExpr {
+    Lit(i8),
+    Var(u8),
+    Bin(u8, Box<GExpr>, Box<GExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum GStmt {
+    Assign(u8, GExpr),
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    Loop(u8, Vec<GStmt>),
+}
+
+fn gexpr() -> impl Strategy<Value = GExpr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(GExpr::Lit),
+        (0..(NUM_VARS + NUM_LOOP_VARS as u8)).prop_map(GExpr::Var),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (0u8..10, inner.clone(), inner)
+            .prop_map(|(op, a, b)| GExpr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn gstmt() -> impl Strategy<Value = GStmt> {
+    let leaf = (0..NUM_VARS, gexpr()).prop_map(|(v, e)| GStmt::Assign(v, e));
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (0..NUM_VARS, gexpr()).prop_map(|(v, e)| GStmt::Assign(v, e)),
+            (
+                gexpr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(c, t, f)| GStmt::If(c, t, f)),
+            (0u8..7, prop::collection::vec(inner, 0..3)).prop_map(|(k, b)| GStmt::Loop(k, b)),
+        ]
+    })
+}
+
+fn build_expr(g: &GExpr) -> Expr {
+    match g {
+        GExpr::Lit(v) => Expr::Int(*v as i64),
+        GExpr::Var(i) => Expr::Var(var_name(*i)),
+        GExpr::Bin(op, a, b) => {
+            let op = match op % 10 {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Div,
+                4 => BinOp::Rem,
+                5 => BinOp::Lt,
+                6 => BinOp::Eq,
+                7 => BinOp::Gt,
+                8 => BinOp::And,
+                _ => BinOp::Or,
+            };
+            Expr::Bin(op, Box::new(build_expr(a)), Box::new(build_expr(b)))
+        }
+    }
+}
+
+fn var_name(i: u8) -> String {
+    if i < NUM_VARS {
+        format!("v{i}")
+    } else {
+        format!("l{}", i - NUM_VARS)
+    }
+}
+
+/// Build statements; `depth` picks the loop variable so nested loops use
+/// distinct induction variables.
+fn build_stmts(gs: &[GStmt], depth: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for g in gs {
+        match g {
+            GStmt::Assign(v, e) => out.push(Stmt::Assign(
+                LValue::Var(var_name(*v)),
+                build_expr(e),
+            )),
+            GStmt::If(c, t, f) => out.push(Stmt::If {
+                cond: build_expr(c),
+                then_blk: build_stmts(t, depth),
+                else_blk: build_stmts(f, depth),
+            }),
+            GStmt::Loop(trip, body) => {
+                if depth >= NUM_LOOP_VARS {
+                    continue; // too deep: drop the loop
+                }
+                out.push(Stmt::For {
+                    var: format!("l{depth}"),
+                    from: Expr::Int(0),
+                    to: Expr::Int(*trip as i64),
+                    step: 1,
+                    body: build_stmts(body, depth + 1),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn build_module(gs: &[GStmt]) -> Module {
+    let mut body = Vec::new();
+    for i in 0..NUM_VARS {
+        body.push(Stmt::Let {
+            name: var_name(i),
+            ty: Type::Int,
+            init: Some(Expr::Int(i as i64 * 7 + 1)),
+        });
+    }
+    for d in 0..NUM_LOOP_VARS {
+        body.push(Stmt::Let {
+            name: format!("l{d}"),
+            ty: Type::Int,
+            init: None,
+        });
+    }
+    body.extend(build_stmts(gs, 0));
+    // return a checksum of all variables
+    let mut sum = Expr::Var(var_name(0));
+    for i in 1..NUM_VARS {
+        sum = Expr::Bin(BinOp::Add, Box::new(sum), Box::new(Expr::Var(var_name(i))));
+    }
+    body.push(Stmt::Return(Some(sum)));
+    Module {
+        name: "diff".to_string(),
+        funcs: vec![FuncDecl {
+            name: "main".to_string(),
+            params: vec![],
+            ret: Some(Type::Int),
+            body,
+            lang: Lang::C,
+        }],
+    }
+}
+
+fn run(module: Module, cfg: &CompilerConfig) -> i64 {
+    let prog = compile_module(module, cfg).expect("generated module compiles");
+    let out = esp_exec::run(&prog, &esp_exec::ExecLimits::default()).expect("terminates");
+    match out.ret {
+        Some(esp_exec::Value::Int(v)) => v,
+        other => panic!("unexpected return {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_configs_compute_the_same_value(gs in prop::collection::vec(gstmt(), 1..6)) {
+        let module = build_module(&gs);
+        let reference = run(module.clone(), &CompilerConfig::o0());
+        for cfg in [
+            CompilerConfig::cc_osf1_v12(),
+            CompilerConfig::cc_osf1_v20(),
+            CompilerConfig::gem(),
+            CompilerConfig::gnu(),
+            CompilerConfig::mips_ref(),
+        ] {
+            let got = run(module.clone(), &cfg);
+            prop_assert_eq!(got, reference, "config {} diverged", cfg.name);
+        }
+    }
+
+    #[test]
+    fn compiled_programs_always_validate(gs in prop::collection::vec(gstmt(), 1..6)) {
+        let module = build_module(&gs);
+        for cfg in [CompilerConfig::o0(), CompilerConfig::gem(), CompilerConfig::mips_ref()] {
+            let prog = compile_module(module.clone(), &cfg).expect("compiles");
+            prop_assert!(esp_ir::validate_program(&prog).is_ok());
+        }
+    }
+}

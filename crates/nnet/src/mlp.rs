@@ -1,0 +1,582 @@
+//! The feed-forward network and its training loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One training example: an encoded static feature vector `x`, the branch's
+/// true taken-probability `target` (`t_k`), and its normalized execution
+/// weight (`n_k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainExample {
+    /// Input feature vector.
+    pub x: Vec<f64>,
+    /// True taken-probability in `[0, 1]`.
+    pub target: f64,
+    /// Normalized branch weight (relative execution frequency); weights the
+    /// example's contribution to the loss.
+    pub weight: f64,
+}
+
+/// Which loss drives gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LossKind {
+    /// The paper's misprediction-cost loss, linear in `y`:
+    /// `Σ n_k [y_k(1−t_k) + t_k(1−y_k)]`.
+    #[default]
+    Linear,
+    /// Weighted sum of squared errors `Σ n_k (y_k − t_k)²` — the "standard
+    /// measure of performance" the paper mentions before motivating its own.
+    /// Useful as an ablation: the linear loss keeps pushing
+    /// correctly-classified examples toward saturation, which can freeze
+    /// XOR-like feature interactions; SSE does not.
+    Sse,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer width; `0` degenerates into a direct input→output model
+    /// (a linear classifier through the squashed output), used as an
+    /// ablation.
+    pub hidden: usize,
+    /// Loss function minimised by gradient descent. Early stopping always
+    /// uses the thresholded misprediction error regardless of this choice.
+    pub loss: LossKind,
+    /// Independent training runs (seeds `seed`, `seed+1`, …); the run with
+    /// the best thresholded error wins. A cheap escape from bad basins of
+    /// the linear loss.
+    pub restarts: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Multiplier applied when the epoch loss decreased ("increased if error
+    /// drops regularly").
+    pub lr_up: f64,
+    /// Multiplier applied when the epoch loss rose ("decreased otherwise").
+    pub lr_down: f64,
+    /// Hard cap on epochs.
+    pub max_epochs: usize,
+    /// Early stopping: stop after this many epochs without improvement of
+    /// the thresholded error.
+    pub patience: usize,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 10,
+            loss: LossKind::Linear,
+            restarts: 2,
+            learning_rate: 0.05,
+            lr_up: 1.05,
+            lr_down: 0.7,
+            max_epochs: 300,
+            patience: 25,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What training observed, for reporting and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually run (≤ `max_epochs`).
+    pub epochs: usize,
+    /// Final continuous loss `E`.
+    pub final_loss: f64,
+    /// Best (lowest) thresholded error seen; the returned network is the one
+    /// that achieved it.
+    pub best_thresholded_error: f64,
+}
+
+/// The paper's branch-prediction network (Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// `w[i][j]`: input `j` → hidden `i`.
+    w: Vec<Vec<f64>>,
+    /// Hidden biases.
+    b: Vec<f64>,
+    /// Hidden `i` → output (or input `j` → output when `hidden == 0`).
+    v: Vec<f64>,
+    /// Output bias.
+    a: f64,
+    inputs: usize,
+}
+
+impl Mlp {
+    /// Number of input units.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of hidden units.
+    pub fn num_hidden(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Total free parameters (weights and biases).
+    pub fn num_params(&self) -> usize {
+        self.w.iter().map(Vec::len).sum::<usize>() + self.b.len() + self.v.len() + 1
+    }
+
+    fn new_random(inputs: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let scale = 1.0 / (inputs.max(1) as f64).sqrt();
+        let mut weight = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+        };
+        let w: Vec<Vec<f64>> = (0..hidden).map(|_| weight(inputs)).collect();
+        let b = weight(hidden);
+        let v = weight(if hidden == 0 { inputs } else { hidden });
+        let a = 0.0;
+        Mlp {
+            w,
+            b,
+            v,
+            a,
+            inputs,
+        }
+    }
+
+    /// The network's estimate of the probability that the branch is taken,
+    /// in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.inputs, "input dimensionality mismatch");
+        let (y, _) = self.forward(x);
+        y
+    }
+
+    /// Hard taken/not-taken decision at the paper's 0.5 threshold.
+    pub fn predict_taken(&self, x: &[f64]) -> bool {
+        self.predict(x) > 0.5
+    }
+
+    /// Forward pass returning `(y, hidden activations)`.
+    fn forward(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        if self.w.is_empty() {
+            let z: f64 = self.v.iter().zip(x).map(|(v, x)| v * x).sum::<f64>() + self.a;
+            return (0.5 * z.tanh() + 0.5, Vec::new());
+        }
+        let h: Vec<f64> = self
+            .w
+            .iter()
+            .zip(&self.b)
+            .map(|(wi, bi)| {
+                let s: f64 = wi.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + bi;
+                s.tanh()
+            })
+            .collect();
+        let z: f64 = self.v.iter().zip(&h).map(|(v, h)| v * h).sum::<f64>() + self.a;
+        (0.5 * z.tanh() + 0.5, h)
+    }
+
+    /// The continuous misprediction-cost loss over a data set.
+    pub fn loss(&self, data: &[TrainExample]) -> f64 {
+        data.iter()
+            .map(|ex| {
+                let y = self.predict(&ex.x);
+                ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y))
+            })
+            .sum()
+    }
+
+    /// The thresholded error: the same loss with `y` snapped to 0 or 1 —
+    /// i.e. the weighted dynamic misprediction mass of the hard predictor.
+    pub fn thresholded_error(&self, data: &[TrainExample]) -> f64 {
+        data.iter()
+            .map(|ex| {
+                let y = if self.predict(&ex.x) > 0.5 { 1.0 } else { 0.0 };
+                ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y))
+            })
+            .sum()
+    }
+
+    /// Accumulate the batch gradient; returns the epoch's continuous loss.
+    fn batch_gradient(&self, data: &[TrainExample], kind: LossKind, grad: &mut Gradients) -> f64 {
+        grad.zero();
+        let mut loss = 0.0;
+        for ex in data {
+            let (y, h) = self.forward(&ex.x);
+            // dE/dy;  y = ½ tanh(z) + ½  ⇒ dy/dz = ½(1 - tanh²z)
+            let dedy = match kind {
+                LossKind::Linear => {
+                    loss += ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y));
+                    ex.weight * (1.0 - 2.0 * ex.target)
+                }
+                LossKind::Sse => {
+                    let d = y - ex.target;
+                    loss += ex.weight * d * d;
+                    ex.weight * 2.0 * d
+                }
+            };
+            let tanh_z = 2.0 * y - 1.0;
+            let dz = dedy * 0.5 * (1.0 - tanh_z * tanh_z);
+            if self.w.is_empty() {
+                for (gv, x) in grad.v.iter_mut().zip(&ex.x) {
+                    *gv += dz * x;
+                }
+                grad.a += dz;
+                continue;
+            }
+            for i in 0..self.w.len() {
+                grad.v[i] += dz * h[i];
+                let dh = dz * self.v[i] * (1.0 - h[i] * h[i]);
+                grad.b[i] += dh;
+                for (gw, x) in grad.w[i].iter_mut().zip(&ex.x) {
+                    *gw += dh * x;
+                }
+            }
+            grad.a += dz;
+        }
+        loss
+    }
+
+    fn apply(&mut self, grad: &Gradients, lr: f64) {
+        for (wi, gi) in self.w.iter_mut().zip(&grad.w) {
+            for (w, g) in wi.iter_mut().zip(gi) {
+                *w -= lr * g;
+            }
+        }
+        for (b, g) in self.b.iter_mut().zip(&grad.b) {
+            *b -= lr * g;
+        }
+        for (v, g) in self.v.iter_mut().zip(&grad.v) {
+            *v -= lr * g;
+        }
+        self.a -= lr * grad.a;
+    }
+
+    /// Train a network on `data` with the paper's procedure (batch descent,
+    /// adaptive learning rate, early stopping on thresholded error), over
+    /// `cfg.restarts` independent initialisations. Returns the weights that
+    /// achieved the best thresholded error across all restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or examples disagree on dimensionality.
+    pub fn train(data: &[TrainExample], cfg: &MlpConfig) -> (Mlp, TrainReport) {
+        assert!(!data.is_empty(), "cannot train on an empty corpus");
+        let inputs = data[0].x.len();
+        assert!(
+            data.iter().all(|d| d.x.len() == inputs),
+            "inconsistent feature dimensionality"
+        );
+        let restarts = cfg.restarts.max(1);
+        let mut outcome: Option<(Mlp, TrainReport)> = None;
+        for r in 0..restarts {
+            let (m, rep) = Mlp::train_once(data, cfg, cfg.seed.wrapping_add(r as u64), inputs);
+            let better = outcome
+                .as_ref()
+                .is_none_or(|(_, b)| rep.best_thresholded_error < b.best_thresholded_error);
+            if better {
+                outcome = Some((m, rep));
+            }
+        }
+        outcome.expect("at least one restart ran")
+    }
+
+    fn train_once(
+        data: &[TrainExample],
+        cfg: &MlpConfig,
+        seed: u64,
+        inputs: usize,
+    ) -> (Mlp, TrainReport) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new_random(inputs, cfg.hidden, &mut rng);
+        let mut grad = Gradients::like(&mlp);
+        let mut lr = cfg.learning_rate;
+        // Normalise the step by total example weight so hyper-parameters are
+        // insensitive to corpus size.
+        let total_weight: f64 = data.iter().map(|d| d.weight).sum::<f64>().max(1e-12);
+
+        let mut best = mlp.clone();
+        let mut best_terr = mlp.thresholded_error(data);
+        let mut prev_loss = f64::INFINITY;
+        let mut since_best = 0usize;
+        let mut epochs = 0usize;
+        let mut final_loss = 0.0;
+
+        for epoch in 0..cfg.max_epochs {
+            epochs = epoch + 1;
+            let loss = mlp.batch_gradient(data, cfg.loss, &mut grad);
+            final_loss = loss;
+            mlp.apply(&grad, lr / total_weight);
+            // Adaptive learning rate, no momentum (paper §3.1.1). Clamped so
+            // a long run of improving epochs cannot blow the step size up.
+            lr *= if loss < prev_loss { cfg.lr_up } else { cfg.lr_down };
+            lr = lr.clamp(1e-5, 40.0 * cfg.learning_rate);
+            prev_loss = loss;
+
+            let terr = mlp.thresholded_error(data);
+            if terr < best_terr - 1e-12 {
+                best_terr = terr;
+                best = mlp.clone();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        (
+            best,
+            TrainReport {
+                epochs,
+                final_loss,
+                best_thresholded_error: best_terr,
+            },
+        )
+    }
+}
+
+struct Gradients {
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    v: Vec<f64>,
+    a: f64,
+}
+
+impl Gradients {
+    fn like(m: &Mlp) -> Self {
+        Gradients {
+            w: m.w.iter().map(|r| vec![0.0; r.len()]).collect(),
+            b: vec![0.0; m.b.len()],
+            v: vec![0.0; m.v.len()],
+            a: 0.0,
+        }
+    }
+
+    fn zero(&mut self) {
+        for r in &mut self.w {
+            r.fill(0.0);
+        }
+        self.b.fill(0.0);
+        self.v.fill(0.0);
+        self.a = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Vec<TrainExample> {
+        let mut out = Vec::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let t = if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 };
+            // replicate to give batch descent something to chew on
+            for _ in 0..8 {
+                out.push(TrainExample {
+                    x: vec![a * 2.0 - 1.0, b * 2.0 - 1.0],
+                    target: t,
+                    weight: 1.0,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new_random(5, 7, &mut rng);
+        for i in 0..50 {
+            let x: Vec<f64> = (0..5).map(|j| ((i * 7 + j) as f64).sin() * 3.0).collect();
+            let y = m.predict(&x);
+            assert!((0.0..=1.0).contains(&y), "y = {y}");
+        }
+        assert_eq!(m.num_inputs(), 5);
+        assert_eq!(m.num_hidden(), 7);
+        assert_eq!(m.num_params(), 5 * 7 + 7 + 7 + 1);
+    }
+
+    #[test]
+    fn learns_xor_with_sse_loss() {
+        let data = xor_data();
+        let cfg = MlpConfig {
+            hidden: 8,
+            loss: LossKind::Sse,
+            restarts: 1,
+            max_epochs: 5000,
+            patience: 1000,
+            learning_rate: 0.5,
+            seed: 42,
+            ..MlpConfig::default()
+        };
+        let (m, report) = Mlp::train(&data, &cfg);
+        assert!(
+            report.best_thresholded_error < 1e-9,
+            "xor not learned: terr = {}",
+            report.best_thresholded_error
+        );
+        assert!(m.predict(&[-1.0, 1.0]) > 0.5);
+        assert!(m.predict(&[1.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let data = xor_data();
+        let base = MlpConfig {
+            hidden: 8,
+            max_epochs: 800,
+            patience: 200,
+            learning_rate: 0.3,
+            seed: 1,
+            ..MlpConfig::default()
+        };
+        let (_, one) = Mlp::train(
+            &data,
+            &MlpConfig {
+                restarts: 1,
+                ..base.clone()
+            },
+        );
+        let (_, many) = Mlp::train(
+            &data,
+            &MlpConfig {
+                restarts: 6,
+                ..base
+            },
+        );
+        assert!(many.best_thresholded_error <= one.best_thresholded_error);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let data: Vec<TrainExample> = (0..10)
+            .map(|i| TrainExample {
+                x: vec![(i as f64) / 5.0 - 1.0, ((i * 3) % 7) as f64 / 3.0 - 1.0],
+                target: ((i % 3) as f64) / 2.0,
+                weight: 0.5 + (i as f64) / 10.0,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Mlp::new_random(2, 3, &mut rng);
+        let mut grad = Gradients::like(&m);
+        m.batch_gradient(&data, LossKind::Linear, &mut grad);
+
+        let eps = 1e-6;
+        // check a few representative parameters
+        let checks: Vec<(f64, Box<dyn Fn(&mut Mlp, f64)>)> = vec![
+            (grad.w[1][0], Box::new(|m: &mut Mlp, d: f64| m.w[1][0] += d)),
+            (grad.b[2], Box::new(|m: &mut Mlp, d: f64| m.b[2] += d)),
+            (grad.v[0], Box::new(|m: &mut Mlp, d: f64| m.v[0] += d)),
+            (grad.a, Box::new(|m: &mut Mlp, d: f64| m.a += d)),
+        ];
+        for (analytic, perturb) in checks {
+            let mut mp = m.clone();
+            perturb(&mut mp, eps);
+            let mut mm = m.clone();
+            perturb(&mut mm, -eps);
+            let numeric = (mp.loss(&data) - mm.loss(&data)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "gradient mismatch: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighting_shifts_the_decision() {
+        // Contradictory labels for the same input; the heavier side must win.
+        let data = vec![
+            TrainExample {
+                x: vec![1.0],
+                target: 1.0,
+                weight: 10.0,
+            },
+            TrainExample {
+                x: vec![1.0],
+                target: 0.0,
+                weight: 1.0,
+            },
+        ];
+        let (m, _) = Mlp::train(
+            &data,
+            &MlpConfig {
+                hidden: 2,
+                seed: 3,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(m.predict(&[1.0]) > 0.5, "heavy taken side must dominate");
+    }
+
+    #[test]
+    fn zero_hidden_is_a_linear_model() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Mlp::new_random(3, 0, &mut rng);
+        assert_eq!(m.num_hidden(), 0);
+        assert_eq!(m.num_params(), 3 + 1);
+        let y = m.predict(&[0.1, -0.2, 0.3]);
+        assert!((0.0..=1.0).contains(&y));
+        // still trainable
+        let data: Vec<TrainExample> = (0..20)
+            .map(|i| {
+                let x = (i as f64) / 10.0 - 1.0;
+                TrainExample {
+                    x: vec![x, 0.0, 0.0],
+                    target: if x > 0.0 { 1.0 } else { 0.0 },
+                    weight: 1.0,
+                }
+            })
+            .collect();
+        let (m, r) = Mlp::train(
+            &data,
+            &MlpConfig {
+                hidden: 0,
+                seed: 4,
+                max_epochs: 500,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(r.best_thresholded_error < 1e-9);
+        assert!(m.predict(&[0.8, 0.0, 0.0]) > 0.5);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = xor_data();
+        let cfg = MlpConfig {
+            hidden: 4,
+            max_epochs: 50,
+            seed: 11,
+            ..MlpConfig::default()
+        };
+        let (m1, r1) = Mlp::train(&data, &cfg);
+        let (m2, r2) = Mlp::train(&data, &cfg);
+        assert_eq!(r1, r2);
+        assert_eq!(m1.predict(&[0.3, -0.4]), m2.predict(&[0.3, -0.4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_training_set_rejected() {
+        let _ = Mlp::train(&[], &MlpConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dimension_mismatch_rejected() {
+        let data = vec![TrainExample {
+            x: vec![0.0, 1.0],
+            target: 1.0,
+            weight: 1.0,
+        }];
+        let (m, _) = Mlp::train(
+            &data,
+            &MlpConfig {
+                hidden: 2,
+                max_epochs: 1,
+                ..MlpConfig::default()
+            },
+        );
+        let _ = m.predict(&[0.0]);
+    }
+}

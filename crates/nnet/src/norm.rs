@@ -1,0 +1,121 @@
+//! Input normalization: zero mean, unit standard deviation per input, fitted
+//! on the training set and applied unchanged to test inputs (paper §3.1.1).
+
+/// Per-feature affine normalizer.
+///
+/// Constant features (zero variance) pass through as zero after centring,
+/// which also implements the paper's handling of non-meaningful *dependent*
+/// features: the caller zeroes them **after** normalization, "equivalent to
+/// gating the flow of activity from these features".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fit means and standard deviations over `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows disagree on length.
+    pub fn fit<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = rows.into_iter();
+        let first = iter.next().expect("cannot fit a normalizer on no rows");
+        let d = first.len();
+        let mut count = 1.0f64;
+        let mut mean = first.to_vec();
+        let mut m2 = vec![0.0f64; d];
+        for row in iter {
+            assert_eq!(row.len(), d, "inconsistent row length");
+            count += 1.0;
+            for j in 0..d {
+                let delta = row[j] - mean[j];
+                mean[j] += delta / count;
+                m2[j] += delta * (row[j] - mean[j]);
+            }
+        }
+        let inv_std = m2
+            .iter()
+            .map(|m2| {
+                let var = m2 / count;
+                if var > 1e-24 {
+                    1.0 / var.sqrt()
+                } else {
+                    0.0 // constant feature: normalized value is 0
+                }
+            })
+            .collect();
+        Normalizer { mean, inv_std }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Normalize one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        for j in 0..row.len() {
+            row[j] = (row[j] - self.mean[j]) * self.inv_std[j];
+        }
+    }
+
+    /// Normalize a borrowed row into a fresh vector.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_std() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0]).collect();
+        let n = Normalizer::fit(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(n.dim(), 2);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| n.transform(r)).collect();
+        let mean0: f64 = transformed.iter().map(|r| r[0]).sum::<f64>() / 100.0;
+        let var0: f64 = transformed.iter().map(|r| r[0] * r[0]).sum::<f64>() / 100.0;
+        assert!(mean0.abs() < 1e-9);
+        assert!((var0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_features_become_zero() {
+        let rows = [[3.0, 1.0], [3.0, 2.0]];
+        let n = Normalizer::fit(rows.iter().map(|r| r.as_slice()));
+        let t = n.transform(&[3.0, 1.5]);
+        assert_eq!(t[0], 0.0);
+        // and unseen values of a constant feature stay finite
+        let t = n.transform(&[99.0, 1.5]);
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn apply_in_place_matches_transform() {
+        let rows = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]];
+        let n = Normalizer::fit(rows.iter().map(|r| r.as_slice()));
+        let mut row = [3.0, 4.0];
+        n.apply(&mut row);
+        assert_eq!(row.to_vec(), n.transform(&[3.0, 4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_fit_rejected() {
+        let _ = Normalizer::fit(std::iter::empty::<&[f64]>());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the learners: output ranges, normalizer algebra,
+//! weighting monotonicity and tree structure invariants.
+
+use esp_nnet::{DecisionTree, LossKind, Mlp, MlpConfig, Normalizer, TrainExample, TreeConfig};
+use proptest::prelude::*;
+
+fn example_strategy(dim: usize) -> impl Strategy<Value = TrainExample> {
+    (
+        prop::collection::vec(-3.0f64..3.0, dim),
+        0.0f64..=1.0,
+        0.01f64..5.0,
+    )
+        .prop_map(|(x, target, weight)| TrainExample { x, target, weight })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mlp_output_stays_in_unit_interval(
+        data in prop::collection::vec(example_strategy(4), 4..24),
+        probe in prop::collection::vec(-10.0f64..10.0, 4),
+        hidden in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MlpConfig {
+            hidden,
+            max_epochs: 15,
+            patience: 15,
+            restarts: 1,
+            seed,
+            ..MlpConfig::default()
+        };
+        let (m, report) = Mlp::train(&data, &cfg);
+        let y = m.predict(&probe);
+        prop_assert!((0.0..=1.0).contains(&y), "y = {y}");
+        prop_assert!(report.best_thresholded_error.is_finite());
+        prop_assert!(report.epochs <= 15);
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_bounded_by_weight(
+        data in prop::collection::vec(example_strategy(3), 2..16),
+    ) {
+        let cfg = MlpConfig { hidden: 3, max_epochs: 5, restarts: 1, ..MlpConfig::default() };
+        let (m, _) = Mlp::train(&data, &cfg);
+        let total_weight: f64 = data.iter().map(|d| d.weight).sum();
+        let loss = m.loss(&data);
+        let terr = m.thresholded_error(&data);
+        prop_assert!(loss >= -1e-12);
+        prop_assert!(terr >= -1e-12);
+        prop_assert!(loss <= total_weight + 1e-9, "loss {loss} > weight {total_weight}");
+        prop_assert!(terr <= total_weight + 1e-9);
+    }
+
+    #[test]
+    fn sse_loss_also_trains(
+        data in prop::collection::vec(example_strategy(3), 4..16),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MlpConfig {
+            hidden: 3,
+            loss: LossKind::Sse,
+            max_epochs: 10,
+            restarts: 1,
+            seed,
+            ..MlpConfig::default()
+        };
+        let (m, _) = Mlp::train(&data, &cfg);
+        prop_assert!((0.0..=1.0).contains(&m.predict(&data[0].x)));
+    }
+
+    #[test]
+    fn normalizer_centres_training_rows(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..32),
+    ) {
+        let n = Normalizer::fit(rows.iter().map(|r| r.as_slice()));
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| n.transform(r)).collect();
+        for j in 0..3 {
+            let mean: f64 = transformed.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {j} mean {mean}");
+            let var: f64 = transformed.iter().map(|r| r[j] * r[j]).sum::<f64>() / rows.len() as f64;
+            prop_assert!(var < 1.0 + 1e-6, "column {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn tree_predictions_are_probabilities_and_depth_bounded(
+        data in prop::collection::vec(example_strategy(3), 2..32),
+        max_depth in 1usize..6,
+    ) {
+        let t = DecisionTree::train(
+            &data,
+            &TreeConfig { max_depth, ..TreeConfig::default() },
+        );
+        prop_assert!(t.depth() <= max_depth);
+        prop_assert!(t.num_leaves() >= 1);
+        for ex in &data {
+            let p = t.predict(&ex.x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn tree_is_exact_on_separable_single_feature(
+        threshold in -0.8f64..0.8,
+        xs in prop::collection::vec(-1.0f64..1.0, 8..40),
+    ) {
+        // skip degenerate cases where all points land on one side
+        let left = xs.iter().filter(|x| **x <= threshold).count();
+        prop_assume!(left > 0 && left < xs.len());
+        // require a visible margin so the split threshold generalises
+        prop_assume!(xs.iter().all(|x| (x - threshold).abs() > 1e-3));
+        let data: Vec<TrainExample> = xs
+            .iter()
+            .map(|&x| TrainExample {
+                x: vec![x],
+                target: if x > threshold { 1.0 } else { 0.0 },
+                weight: 1.0,
+            })
+            .collect();
+        let t = DecisionTree::train(&data, &TreeConfig::default());
+        for ex in &data {
+            prop_assert_eq!(t.predict_taken(&ex.x), ex.target > 0.5);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The Table 7 study on one program: how the same source behaves under four
+//! compiler configurations (standard `-O`, modest unrolling, GEM-style
+//! aggressive unrolling, and a gcc-like config without if-conversion), plus
+//! the MIPS-flavoured backend of the cross-architecture study.
+//!
+//! ```text
+//! cargo run --release --example cross_compiler [program]
+//! ```
+
+use esp_repro::corpus::suite;
+use esp_repro::heur::{perfect_predict, Aphc, BranchCtx, Btfnt};
+use esp_repro::ir::ProgramAnalysis;
+use esp_repro::lang::CompilerConfig;
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "espresso".to_string());
+    let all = suite();
+    let bench = all
+        .iter()
+        .find(|b| b.name == target)
+        .unwrap_or_else(|| panic!("unknown benchmark `{target}`"));
+
+    let mut configs = CompilerConfig::table7_suite().to_vec();
+    configs.push(CompilerConfig::mips_ref());
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "compiler", "sites", "dyn cond", "%taken", "BTFNT", "APHC", "perfect"
+    );
+    for cfg in &configs {
+        let prog = bench.compile(cfg).expect("compiles");
+        let analysis = ProgramAnalysis::analyze(&prog);
+        let profile = esp_repro::corpus::profile(&prog).expect("runs");
+        let aphc = Aphc::table1_order();
+
+        let mut btfnt = 0.0f64;
+        let mut heur = 0.0f64;
+        let mut perf = 0.0f64;
+        let mut total = 0u64;
+        for site in prog.branch_sites() {
+            let Some(c) = profile.counts(site) else { continue };
+            total += c.executed;
+            let ctx = BranchCtx::new(&prog, &analysis, site);
+            let chg = |p: Option<bool>| match p {
+                Some(true) => (c.executed - c.taken) as f64,
+                Some(false) => c.taken as f64,
+                None => c.executed as f64 / 2.0,
+            };
+            btfnt += chg(Some(Btfnt.predict(&ctx)));
+            heur += chg(aphc.predict(&ctx));
+            perf += chg(perfect_predict(&profile, site));
+        }
+        let pct = |m: f64| 100.0 * m / total.max(1) as f64;
+        println!(
+            "{:<14} {:>8} {:>10} {:>9.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            cfg.name,
+            prog.branch_sites().len(),
+            total,
+            100.0 * profile.overall_taken_fraction().unwrap_or(0.0),
+            pct(btfnt),
+            pct(heur),
+            pct(perf),
+        );
+    }
+
+    println!(
+        "\nNote how unrolling (gem) shrinks the dynamic conditional-branch count and\n\
+         shifts the branch mix — the effect behind the paper's Table 7 warning that\n\
+         fixed heuristic orderings are compiler-sensitive."
+    );
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the ESP reproduction workspace.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs:
+//!
+//! * [`ir`] — IR, CFG, dominators, loops ([`esp_ir`])
+//! * [`lang`] — Cee/Fort front ends, optimizer, codegen ([`esp_lang`])
+//! * [`exec`] — interpreter and branch profiler ([`esp_exec`])
+//! * [`corpus`] — the 43-program synthetic benchmark suite ([`esp_corpus`])
+//! * [`heur`] — BTFNT, Ball–Larus heuristics, APHC, DSHC, perfect ([`esp_heur`])
+//! * [`nnet`] — neural network and decision tree learners ([`esp_nnet`])
+//! * [`esp`] — the paper's contribution: feature extraction + ESP ([`esp_core`])
+//! * [`eval`] — evaluation harness and table renderers ([`esp_eval`])
+
+pub use esp_core as esp;
+pub use esp_corpus as corpus;
+pub use esp_eval as eval;
+pub use esp_exec as exec;
+pub use esp_heur as heur;
+pub use esp_ir as ir;
+pub use esp_lang as lang;
+pub use esp_nnet as nnet;

@@ -8,7 +8,9 @@
 //! * feature groups — dropping opcode / context / successor features.
 //!
 //! Each variant reports the mean leave-one-out miss rate over a fixed set of
-//! evaluation programs. Run with `--quick` for a fast sanity pass.
+//! evaluation programs. Run with `--quick` for a fast sanity pass and
+//! `--threads N` to cap the worker count (`0` = one per core; results are
+//! identical at every thread count).
 
 use esp_core::{leave_one_out, EspConfig, FeatureSet, Learner, TrainingProgram};
 use esp_eval::{miss_rate, Prediction, SuiteData};
@@ -54,9 +56,16 @@ fn cv_miss(suite: &SuiteData, pool: &[usize], targets: &[usize], cfg: &EspConfig
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(0);
     eprintln!("building + profiling the corpus…");
-    let suite = SuiteData::build(&CompilerConfig::default());
+    let suite = SuiteData::build_with_threads(&CompilerConfig::default(), threads);
 
     let c_programs = suite.lang_indices(Lang::C);
     // Evaluate every variant on the same targets: the first 8 C programs.
@@ -67,6 +76,7 @@ fn main() {
     let net = |hidden: usize, loss: LossKind| EspConfig {
         learner: Learner::Net(mlp(hidden, loss, quick)),
         features: FeatureSet::default(),
+        threads,
     };
 
     println!("Ablation study (mean leave-one-out miss rate over {} C programs)\n", targets.len());
@@ -97,6 +107,7 @@ fn main() {
         &EspConfig {
             learner: Learner::Tree(TreeConfig::default()),
             features: FeatureSet::default(),
+            threads,
         },
     );
     let mn = cv_miss(&suite, &full_pool, &targets, &net(10, LossKind::Linear));
@@ -132,6 +143,7 @@ fn main() {
         let cfg = EspConfig {
             learner: Learner::Net(mlp(10, LossKind::Linear, quick)),
             features,
+            threads,
         };
         let m = cv_miss(&suite, &full_pool, &targets, &cfg);
         println!("  {name:<24} {:.1}%", m * 100.0);

@@ -1,0 +1,243 @@
+//! Std::time bench harness for the three parallel layers of the pipeline:
+//! corpus profiling (one interpreter run per program), `Mlp::train`
+//! (restarts × gradient chunks) and `cross_validate` (folds).
+//!
+//! For each stage it measures serial (`threads = 1`) against parallel
+//! wall-clock, **checks the outputs are bitwise identical**, and appends the
+//! result to `BENCH_pipeline.json` — the file the perf trajectory is tracked
+//! in from PR to PR.
+//!
+//! ```text
+//! bench_pipeline [--quick] [--threads N] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the learner and the fold count so the whole harness
+//! finishes in seconds; `--threads 0` (default) uses every core.
+
+use std::time::Instant;
+
+use esp_core::{build_training_set, cross_validate, EspConfig, Learner, TrainingProgram};
+use esp_eval::SuiteData;
+use esp_exec::ExecLimits;
+use esp_lang::CompilerConfig;
+use esp_nnet::{Mlp, MlpConfig};
+use esp_runtime::resolve_threads;
+
+struct StageResult {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bitwise_identical: bool,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let threads = resolve_threads(
+        flag("--threads")
+            .map(|v| v.parse().expect("--threads takes a number"))
+            .unwrap_or(0),
+    );
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    eprintln!("compiling the corpus (shared setup, untimed split)…");
+    let suite = SuiteData::build(&CompilerConfig::default());
+    let programs: Vec<TrainingProgram<'_>> = suite
+        .benches
+        .iter()
+        .map(|b| TrainingProgram {
+            prog: &b.prog,
+            analysis: &b.analysis,
+            profile: &b.profile,
+        })
+        .collect();
+
+    // ---- stage 1: corpus profiling (one esp-exec run per program) --------
+    eprintln!("stage 1/3: profiling {} programs…", suite.benches.len());
+    let progs: Vec<&esp_ir::Program> = suite.benches.iter().map(|b| &b.prog).collect();
+    let limits = ExecLimits {
+        max_insns: 80_000_000,
+        ..ExecLimits::default()
+    };
+    let (serial_out, profile_serial) = time_ms(|| esp_exec::run_many(&progs, &limits, 1));
+    let (parallel_out, profile_parallel) = time_ms(|| esp_exec::run_many(&progs, &limits, threads));
+    let profile_same = serial_out
+        .iter()
+        .zip(&parallel_out)
+        .all(|(a, b)| match (a, b) {
+            (Ok(x), Ok(y)) => {
+                x.profile.dyn_insns == y.profile.dyn_insns
+                    && x.profile.dyn_cond_branches == y.profile.dyn_cond_branches
+                    && x.profile.iter().count() == y.profile.iter().count()
+            }
+            _ => false,
+        });
+    let profile_stage = StageResult {
+        name: "profile",
+        serial_ms: profile_serial,
+        parallel_ms: profile_parallel,
+        bitwise_identical: profile_same,
+    };
+
+    // ---- stage 2: Mlp::train (restarts × gradient chunks) ----------------
+    let mlp_cfg = MlpConfig {
+        hidden: 10,
+        restarts: 4,
+        max_epochs: if quick { 80 } else { 300 },
+        patience: if quick { 80 } else { 300 },
+        ..MlpConfig::default()
+    };
+    let esp_cfg = EspConfig {
+        learner: Learner::Net(mlp_cfg.clone()),
+        ..EspConfig::default()
+    };
+    let (_, data) = build_training_set(&programs, &esp_cfg);
+    eprintln!(
+        "stage 2/3: training on {} examples ({} restarts)…",
+        data.len(),
+        mlp_cfg.restarts
+    );
+    let (m1, train_serial) = time_ms(|| {
+        Mlp::train(
+            &data,
+            &MlpConfig {
+                threads: 1,
+                ..mlp_cfg.clone()
+            },
+        )
+    });
+    let (mt, train_parallel) = time_ms(|| {
+        Mlp::train(
+            &data,
+            &MlpConfig {
+                threads,
+                ..mlp_cfg.clone()
+            },
+        )
+    });
+    let train_same = weights_bits(&m1.0.flat_weights()) == weights_bits(&mt.0.flat_weights());
+    let train_stage = StageResult {
+        name: "train",
+        serial_ms: train_serial,
+        parallel_ms: train_parallel,
+        bitwise_identical: train_same,
+    };
+
+    // ---- stage 3: leave-one-out cross-validation (folds) -----------------
+    let cv_pool: Vec<TrainingProgram<'_>> = if quick {
+        programs.iter().take(8).map(|tp| TrainingProgram {
+            prog: tp.prog,
+            analysis: tp.analysis,
+            profile: tp.profile,
+        }).collect()
+    } else {
+        programs
+    };
+    let cv_mlp = MlpConfig {
+        hidden: if quick { 6 } else { 10 },
+        restarts: 1,
+        max_epochs: if quick { 40 } else { 120 },
+        patience: if quick { 40 } else { 25 },
+        ..MlpConfig::default()
+    };
+    eprintln!("stage 3/3: cross-validating {} folds…", cv_pool.len());
+    let (serial_models, cv_serial) = time_ms(|| {
+        cross_validate(
+            &cv_pool,
+            &EspConfig {
+                learner: Learner::Net(cv_mlp.clone()),
+                threads: 1,
+                ..EspConfig::default()
+            },
+        )
+    });
+    let (parallel_models, cv_parallel) = time_ms(|| {
+        cross_validate(
+            &cv_pool,
+            &EspConfig {
+                learner: Learner::Net(cv_mlp.clone()),
+                threads,
+                ..EspConfig::default()
+            },
+        )
+    });
+    let cv_same = serial_models.len() == parallel_models.len()
+        && serial_models.iter().zip(&parallel_models).all(|(a, b)| {
+            weights_bits(&a.net_weights().unwrap_or_default())
+                == weights_bits(&b.net_weights().unwrap_or_default())
+        });
+    let cv_stage = StageResult {
+        name: "crossval",
+        serial_ms: cv_serial,
+        parallel_ms: cv_parallel,
+        bitwise_identical: cv_same,
+    };
+
+    // ---- report ----------------------------------------------------------
+    let stages = [profile_stage, train_stage, cv_stage];
+    for s in &stages {
+        eprintln!(
+            "  {:<9} serial {:>9.1} ms   threads={threads} {:>9.1} ms   speedup {:.2}x   identical: {}",
+            s.name,
+            s.serial_ms,
+            s.parallel_ms,
+            s.speedup(),
+            s.bitwise_identical,
+        );
+    }
+    let cores = resolve_threads(0);
+    let json = render_json(&stages, threads, cores, quick);
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+
+    if stages.iter().any(|s| !s.bitwise_identical) {
+        eprintln!("ERROR: a parallel stage diverged from the serial reference");
+        std::process::exit(1);
+    }
+}
+
+fn weights_bits(w: &[f64]) -> Vec<u64> {
+    w.iter().map(|x| x.to_bits()).collect()
+}
+
+fn render_json(stages: &[StageResult], threads: usize, cores: usize, quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"stages\": [\n");
+    for (i, st) in stages.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"bitwise_identical\": {}}}{}\n",
+            st.name,
+            st.serial_ms,
+            st.parallel_ms,
+            st.speedup(),
+            st.bitwise_identical,
+            if i + 1 < stages.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

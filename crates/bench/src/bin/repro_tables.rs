@@ -1,19 +1,21 @@
 //! Regenerate every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick]
+//! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
 //! Table 4 finishes in seconds instead of minutes; the paper-shaped ranking
-//! is preserved, absolute numbers move a little.
+//! is preserved, absolute numbers move a little. `--threads` caps the worker
+//! count for corpus profiling and cross-validation folds (`0`, the default,
+//! means one per core); every thread count produces identical tables.
 
 use esp_core::{EspConfig, Learner};
 use esp_eval::{fig1, table3, table4, table5, table6, table7, SuiteData, Table4Config};
 use esp_lang::CompilerConfig;
 use esp_nnet::MlpConfig;
 
-fn esp_config(quick: bool) -> EspConfig {
+fn esp_config(quick: bool, threads: usize) -> EspConfig {
     let mlp = if quick {
         MlpConfig {
             hidden: 6,
@@ -33,6 +35,7 @@ fn esp_config(quick: bool) -> EspConfig {
     };
     EspConfig {
         learner: Learner::Net(mlp),
+        threads,
         ..EspConfig::default()
     }
 }
@@ -40,16 +43,25 @@ fn esp_config(quick: bool) -> EspConfig {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(0);
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with("--") && !(i > 0 && args[i - 1] == "--threads")
+        })
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
 
     let needs_suite = matches!(what, "table3" | "table4" | "table5" | "table6" | "fig2" | "all");
     let suite = needs_suite.then(|| {
         eprintln!("building + profiling the 43-program corpus (cc-osf1-v1.2, Alpha)…");
-        SuiteData::build(&CompilerConfig::default())
+        SuiteData::build_with_threads(&CompilerConfig::default(), threads)
     });
 
     let run_t4 = |suite: &SuiteData| {
@@ -59,7 +71,7 @@ fn main() {
             if quick { ", quick mode" } else { "" }
         );
         let cfg = Table4Config {
-            esp: esp_config(quick),
+            esp: esp_config(quick, threads),
         };
         println!("{}", table4(suite, &cfg));
     };
@@ -90,7 +102,7 @@ fn main() {
             println!("{}", fig1(10));
             let tomcatv = s.by_name("tomcatv").expect("tomcatv in suite");
             println!("{}", esp_eval::casestudy::fig2(tomcatv));
-            print_extras(s, quick);
+            print_extras(s, quick, threads);
             println!("{}", esp_eval::scheme_study::scheme_study(s));
         }
         "scheme" => {
@@ -99,7 +111,7 @@ fn main() {
         }
         "extras" => {
             let s = suite_for_extras(quick);
-            print_extras(&s, quick);
+            print_extras(&s, quick, threads);
         }
         other => {
             eprintln!(
@@ -125,13 +137,13 @@ fn suite_for_extras(quick: bool) -> SuiteData {
 /// The two extension studies from the paper's §6 future-work list:
 /// probability calibration of the ESP network and program-based profile
 /// estimation from its probability output.
-fn print_extras(suite: &SuiteData, quick: bool) {
+fn print_extras(suite: &SuiteData, quick: bool, threads: usize) {
     use esp_core::{leave_one_out, TrainingProgram};
     use esp_eval::calibration::{calibration, render};
     use esp_eval::freq::evaluate_estimation;
     use esp_ir::Lang;
 
-    let cfg = esp_config(quick);
+    let cfg = esp_config(quick, threads);
     let c_idx = suite.lang_indices(Lang::C);
     if c_idx.len() < 2 {
         eprintln!("need at least two C programs");

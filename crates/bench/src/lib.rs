@@ -1,8 +1,10 @@
-//! Benchmark crate: criterion performance benches (`benches/`) and the
-//! `repro_tables` binary that regenerates every table and figure of the
-//! paper (`src/bin/repro_tables.rs`).
+//! Benchmark crate: the std-only `bench_pipeline` harness that times the
+//! serial vs parallel pipeline stages and emits `BENCH_pipeline.json`
+//! (`src/bin/bench_pipeline.rs`), plus the `repro_tables` binary that
+//! regenerates every table and figure of the paper
+//! (`src/bin/repro_tables.rs`).
 //!
-//! The library itself only hosts small helpers shared by the benches.
+//! The library itself only hosts small helpers shared by the binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,8 +13,8 @@ use esp_core::{EspConfig, Learner};
 use esp_nnet::MlpConfig;
 
 /// A reduced ESP configuration for benches: small network, few epochs, one
-/// restart — fast enough to run inside criterion iterations while exercising
-/// the full pipeline.
+/// restart — fast enough to run repeatedly while exercising the full
+/// pipeline.
 pub fn bench_esp_config() -> EspConfig {
     EspConfig {
         learner: Learner::Net(MlpConfig {

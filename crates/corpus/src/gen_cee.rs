@@ -7,8 +7,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use esp_runtime::Pcg32;
 
 use crate::personality::Personality;
 
@@ -41,7 +40,7 @@ enum Idiom {
 }
 
 struct Gen<'p> {
-    rng: StdRng,
+    rng: Pcg32,
     out: String,
     p: &'p Personality,
     n: u32,
@@ -536,7 +535,7 @@ impl Gen<'_> {
 /// Generate the Cee source of a whole benchmark.
 pub(crate) fn generate(name: &str, p: &Personality) -> String {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(name_seed(name)),
+        rng: Pcg32::seed_from_u64(name_seed(name)),
         out: format!("// benchmark `{name}` (generated)\n\n"),
         p,
         n: 0,
@@ -612,7 +611,7 @@ mod tests {
         // emit every idiom exactly once, then wrap in a main and parse
         let p = Personality::default();
         let mut g = Gen {
-            rng: StdRng::seed_from_u64(name_seed("idiom-coverage")),
+            rng: Pcg32::seed_from_u64(name_seed("idiom-coverage")),
             out: String::new(),
             p: &p,
             n: 0,

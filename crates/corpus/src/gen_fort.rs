@@ -4,8 +4,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use esp_runtime::Pcg32;
 
 use crate::gen_cee::name_seed;
 use crate::personality::Personality;
@@ -26,7 +25,7 @@ enum Idiom {
 }
 
 struct Gen<'p> {
-    rng: StdRng,
+    rng: Pcg32,
     out: String,
     p: &'p Personality,
     n: u32,
@@ -468,7 +467,7 @@ END
 /// Generate the Fort source of a whole benchmark.
 pub(crate) fn generate(name: &str, p: &Personality) -> String {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(name_seed(name) ^ 0xF0F0F0F0F0F0F0F0),
+        rng: Pcg32::seed_from_u64(name_seed(name) ^ 0xF0F0F0F0F0F0F0F0),
         out: format!("! benchmark `{name}` (generated)\n\n"),
         p,
         n: 0,
@@ -532,13 +531,12 @@ mod tests {
 
     #[test]
     fn all_idioms_produce_valid_functions() {
-        use rand::SeedableRng;
         let p = Personality {
             ptr_weight: 0,
             ..Personality::default()
         };
         let mut g = Gen {
-            rng: rand::rngs::StdRng::seed_from_u64(name_seed("fort-coverage")),
+            rng: Pcg32::seed_from_u64(name_seed("fort-coverage")),
             out: String::new(),
             p: &p,
             n: 0,

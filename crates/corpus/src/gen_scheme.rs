@@ -11,8 +11,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use esp_runtime::Pcg32;
 
 use crate::gen_cee::name_seed;
 
@@ -99,7 +98,7 @@ fn prelude(sparsity: i64) -> String {
 /// `boyer`: term-rewriting flavour — repeated sparse-tree construction,
 /// traversal and conditional rewriting.
 fn gen_boyer() -> String {
-    let mut rng = StdRng::seed_from_u64(name_seed("boyer"));
+    let mut rng = Pcg32::seed_from_u64(name_seed("boyer"));
     let depth = rng.gen_range(11..13);
     let rounds = rng.gen_range(160..220);
     let mut s = prelude(4);
@@ -132,7 +131,7 @@ fn gen_boyer() -> String {
 /// `corewar`: a little battle simulator — process lists, early-exit
 /// searches, dispatch on instruction tags.
 fn gen_corewar() -> String {
-    let mut rng = StdRng::seed_from_u64(name_seed("corewar"));
+    let mut rng = Pcg32::seed_from_u64(name_seed("corewar"));
     let procs = rng.gen_range(25..40);
     let steps = rng.gen_range(700..1000);
     let mut s = prelude(4);
@@ -172,7 +171,7 @@ fn gen_corewar() -> String {
 /// `sccomp`: compiler flavour — recursive expression-tree walks with
 /// environment (association-list) lookups.
 fn gen_sccomp() -> String {
-    let mut rng = StdRng::seed_from_u64(name_seed("sccomp"));
+    let mut rng = Pcg32::seed_from_u64(name_seed("sccomp"));
     let depth = rng.gen_range(10..12);
     let rounds = rng.gen_range(200..280);
     let mut s = prelude(4);

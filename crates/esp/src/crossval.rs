@@ -44,10 +44,16 @@ pub fn leave_one_out(
 /// Run full leave-one-out cross-validation: the `i`-th returned model was
 /// trained without program `i` and should only be used to predict program
 /// `i`.
+///
+/// Folds run concurrently on `cfg.threads` workers (`0` = one per core).
+/// Every fold is a pure function of the corpus, the config and its own
+/// index — each derives its RNG seed from the fold index, never from
+/// scheduling — so the returned models are bitwise identical for every
+/// thread count, including fully serial runs.
 pub fn cross_validate(programs: &[TrainingProgram<'_>], cfg: &EspConfig) -> Vec<EspModel> {
-    (0..programs.len())
-        .map(|i| leave_one_out(programs, i, cfg))
-        .collect()
+    esp_runtime::parallel_map_indices(cfg.threads, programs.len(), |i| {
+        leave_one_out(programs, i, cfg)
+    })
 }
 
 #[cfg(test)]
@@ -90,6 +96,7 @@ mod tests {
                 ..MlpConfig::default()
             }),
             features: FeatureSet::default(),
+            ..EspConfig::default()
         }
     }
 

@@ -61,4 +61,4 @@ pub mod model;
 pub use crossval::{cross_validate, leave_one_out};
 pub use encode::{encode, FeatureSet, FittedEncoder, ENCODED_DIM};
 pub use features::{extract, BranchFeatures, SuccessorFeatures, FEATURE_COUNT};
-pub use model::{EspConfig, EspModel, Learner, TrainingProgram};
+pub use model::{build_training_set, EspConfig, EspModel, Learner, TrainingProgram};

@@ -34,17 +34,74 @@ impl Default for Learner {
 }
 
 /// ESP training configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EspConfig {
     /// Learner choice and hyper-parameters.
     pub learner: Learner,
     /// Which Table 2 feature groups to use.
     pub features: FeatureSet,
+    /// Worker threads for cross-validation folds; `0` (the default) means
+    /// one per available core. Folds are independent training problems, so
+    /// the thread count never changes any result — only wall-clock time.
+    pub threads: usize,
+}
+
+impl Default for EspConfig {
+    fn default() -> Self {
+        EspConfig {
+            learner: Learner::default(),
+            features: FeatureSet::default(),
+            threads: 0,
+        }
+    }
 }
 
 enum Fitted {
     Net(Mlp),
     Tree(DecisionTree),
+}
+
+/// Extract, encode and weight every executed branch site of `corpus` into
+/// the learner's training set (the shared front half of [`EspModel::train`]).
+/// Public so the bench harness can time the training stage in isolation.
+///
+/// # Panics
+///
+/// Panics if the corpus contains no executed branches.
+pub fn build_training_set(
+    corpus: &[TrainingProgram<'_>],
+    cfg: &EspConfig,
+) -> (FittedEncoder, Vec<TrainExample>) {
+    let mut raw: Vec<(Vec<f64>, Vec<bool>)> = Vec::new();
+    let mut targets: Vec<(f64, f64)> = Vec::new(); // (t_k, n_k)
+    for tp in corpus {
+        for site in tp.prog.branch_sites() {
+            let Some(counts) = tp.profile.counts(site) else {
+                continue;
+            };
+            let Some(t) = counts.taken_prob() else {
+                continue;
+            };
+            let f = extract(tp.prog, tp.analysis, site);
+            raw.push(encode(&f, &cfg.features));
+            targets.push((t, tp.profile.weight(site)));
+        }
+    }
+    assert!(
+        !raw.is_empty(),
+        "training corpus contains no executed branches"
+    );
+    let encoder = FittedEncoder::fit(&raw, cfg.features);
+    let data: Vec<TrainExample> = raw
+        .iter()
+        .zip(&targets)
+        .map(|((row, mask), (t, n))| TrainExample {
+            x: encoder.transform(row, mask),
+            target: *t,
+            weight: *n,
+        })
+        .collect();
+    (encoder, data)
 }
 
 /// A trained evidence-based static predictor.
@@ -68,35 +125,7 @@ impl EspModel {
     ///
     /// Panics if the corpus contains no executed branches.
     pub fn train(corpus: &[TrainingProgram<'_>], cfg: &EspConfig) -> Self {
-        let mut raw: Vec<(Vec<f64>, Vec<bool>)> = Vec::new();
-        let mut targets: Vec<(f64, f64)> = Vec::new(); // (t_k, n_k)
-        for tp in corpus {
-            for site in tp.prog.branch_sites() {
-                let Some(counts) = tp.profile.counts(site) else {
-                    continue;
-                };
-                let Some(t) = counts.taken_prob() else {
-                    continue;
-                };
-                let f = extract(tp.prog, tp.analysis, site);
-                raw.push(encode(&f, &cfg.features));
-                targets.push((t, tp.profile.weight(site)));
-            }
-        }
-        assert!(
-            !raw.is_empty(),
-            "training corpus contains no executed branches"
-        );
-        let encoder = FittedEncoder::fit(&raw, cfg.features);
-        let data: Vec<TrainExample> = raw
-            .iter()
-            .zip(&targets)
-            .map(|((row, mask), (t, n))| TrainExample {
-                x: encoder.transform(row, mask),
-                target: *t,
-                weight: *n,
-            })
-            .collect();
+        let (encoder, data) = build_training_set(corpus, cfg);
         let fitted = match &cfg.learner {
             Learner::Net(mcfg) => Fitted::Net(Mlp::train(&data, mcfg).0),
             Learner::Tree(tcfg) => Fitted::Tree(DecisionTree::train(&data, tcfg)),
@@ -111,6 +140,16 @@ impl EspModel {
     /// Number of training examples used.
     pub fn num_examples(&self) -> usize {
         self.examples
+    }
+
+    /// The fitted network's flattened parameters, or `None` for a tree
+    /// learner. Exposed so determinism tests can assert bitwise-identical
+    /// training outcomes across thread counts.
+    pub fn net_weights(&self) -> Option<Vec<f64>> {
+        match &self.fitted {
+            Fitted::Net(m) => Some(m.flat_weights()),
+            Fitted::Tree(_) => None,
+        }
     }
 
     /// The model's estimated probability that `site` is taken.
@@ -199,6 +238,7 @@ mod tests {
                 ..MlpConfig::default()
             }),
             features: FeatureSet::default(),
+            ..EspConfig::default()
         }
     }
 
@@ -239,6 +279,7 @@ mod tests {
         let cfg = EspConfig {
             learner: Learner::Tree(TreeConfig::default()),
             features: FeatureSet::default(),
+            ..EspConfig::default()
         };
         let model = EspModel::train(&corpus, &cfg);
         let b = build(LOOPY2);

@@ -49,10 +49,20 @@ pub struct SuiteData {
 }
 
 impl SuiteData {
-    /// Build the full 43-program suite under `cfg`.
+    /// Build the full 43-program suite under `cfg`, compiling and profiling
+    /// benchmarks concurrently (one worker per core).
     pub fn build(cfg: &CompilerConfig) -> Self {
+        Self::build_with_threads(cfg, 0)
+    }
+
+    /// Build the full suite on an explicit number of workers (`0` = one per
+    /// core, `1` = fully serial). Generation, compilation and the profiling
+    /// interpreter run are all pure functions of the benchmark definition,
+    /// so the thread count cannot change any profile.
+    pub fn build_with_threads(cfg: &CompilerConfig, threads: usize) -> Self {
+        let all = suite();
         SuiteData {
-            benches: suite().iter().map(|b| BenchData::build(b, cfg)).collect(),
+            benches: esp_runtime::parallel_map(threads, &all, |b| BenchData::build(b, cfg)),
             config: *cfg,
         }
     }
@@ -64,18 +74,16 @@ impl SuiteData {
     /// Panics on unknown names.
     pub fn build_subset(names: &[&str], cfg: &CompilerConfig) -> Self {
         let all = suite();
-        let benches = names
+        let picked: Vec<&Benchmark> = names
             .iter()
             .map(|n| {
-                let b = all
-                    .iter()
+                all.iter()
                     .find(|b| b.name == *n)
-                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"));
-                BenchData::build(b, cfg)
+                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"))
             })
             .collect();
         SuiteData {
-            benches,
+            benches: esp_runtime::parallel_map(0, &picked, |b| BenchData::build(b, cfg)),
             config: *cfg,
         }
     }

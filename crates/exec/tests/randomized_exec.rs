@@ -1,12 +1,14 @@
-//! Property tests for the interpreter: determinism, profile accounting
+//! Randomized tests for the interpreter: determinism, profile accounting
 //! invariants, and limit behaviour, over randomly generated (terminating)
-//! programs.
+//! programs drawn from the in-tree seeded PCG32 stream.
 
 use esp_exec::{run, ExecLimits, Value};
 use esp_ir::{
     AluOp, BlockId, BranchOp, CmpOp, FuncId, FunctionBuilder, Isa, Lang, Program, Reg,
 };
-use proptest::prelude::*;
+use esp_runtime::Pcg32;
+
+const CASES: u64 = 64;
 
 /// A random but always-terminating program: a counted loop whose body is a
 /// random arithmetic schedule over a small register file, with a random
@@ -18,17 +20,32 @@ struct Spec {
     branch_mod: u8,
 }
 
-fn spec() -> impl Strategy<Value = Spec> {
-    (
-        0u8..40,
-        prop::collection::vec((0u8..6, 0u8..4, 0u8..4, 0u8..4), 0..8),
-        1u8..7,
-    )
-        .prop_map(|(trip, ops, branch_mod)| Spec {
-            trip,
-            ops,
-            branch_mod,
+fn random_spec(rng: &mut Pcg32) -> Spec {
+    let trip = rng.gen_range(0..40u32) as u8;
+    let n_ops = rng.gen_range(0..8usize);
+    let ops = (0..n_ops)
+        .map(|_| {
+            (
+                rng.gen_range(0..6u32) as u8,
+                rng.gen_range(0..4u32) as u8,
+                rng.gen_range(0..4u32) as u8,
+                rng.gen_range(0..4u32) as u8,
+            )
         })
+        .collect();
+    let branch_mod = rng.gen_range(1..7u32) as u8;
+    Spec {
+        trip,
+        ops,
+        branch_mod,
+    }
+}
+
+fn for_random_specs(base_seed: u64, mut check: impl FnMut(&Spec)) {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(base_seed.wrapping_add(case));
+        check(&random_spec(&mut rng));
+    }
 }
 
 fn build(spec: &Spec) -> Program {
@@ -87,33 +104,33 @@ fn build(spec: &Spec) -> Program {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn execution_is_deterministic(s in spec()) {
-        let prog = build(&s);
+#[test]
+fn execution_is_deterministic() {
+    for_random_specs(0xDE7E, |s| {
+        let prog = build(s);
         let a = run(&prog, &ExecLimits::default()).expect("terminates");
         let b = run(&prog, &ExecLimits::default()).expect("terminates");
-        prop_assert_eq!(a.ret, b.ret);
-        prop_assert_eq!(a.profile.dyn_insns, b.profile.dyn_insns);
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.profile.dyn_insns, b.profile.dyn_insns);
         let pa: Vec<_> = a.profile.iter().map(|(s, c)| (*s, *c)).collect();
         let pb: Vec<_> = b.profile.iter().map(|(s, c)| (*s, *c)).collect();
-        prop_assert_eq!(pa, pb);
-    }
+        assert_eq!(pa, pb);
+    });
+}
 
-    #[test]
-    fn profile_accounting_invariants(s in spec()) {
-        let prog = build(&s);
+#[test]
+fn profile_accounting_invariants() {
+    for_random_specs(0xACC0, |s| {
+        let prog = build(s);
         let out = run(&prog, &ExecLimits::default()).expect("terminates");
         let p = &out.profile;
         let mut total = 0u64;
         for (site, c) in p.iter() {
-            prop_assert!(c.taken <= c.executed, "{site}: taken > executed");
-            prop_assert!(c.executed > 0);
+            assert!(c.taken <= c.executed, "{site}: taken > executed");
+            assert!(c.executed > 0);
             total += c.executed;
         }
-        prop_assert_eq!(total, p.dyn_cond_branches);
+        assert_eq!(total, p.dyn_cond_branches);
         // loop head executed trip+1 times when the loop ran
         let head_site = prog
             .branch_sites()
@@ -121,34 +138,52 @@ proptest! {
             .find(|b| b.block == BlockId(1))
             .expect("head branch");
         let c = p.counts(head_site).expect("head executed");
-        prop_assert_eq!(c.executed, s.trip as u64 + 1);
-        prop_assert_eq!(c.taken, s.trip as u64);
+        assert_eq!(c.executed, s.trip as u64 + 1);
+        assert_eq!(c.taken, s.trip as u64);
         // weights sum to 1 over executed sites
         let wsum: f64 = prog.branch_sites().iter().map(|s| p.weight(*s)).sum();
-        prop_assert!((wsum - 1.0).abs() < 1e-9, "weights sum to {wsum}");
-    }
+        assert!((wsum - 1.0).abs() < 1e-9, "weights sum to {wsum}");
+    });
+}
 
-    #[test]
-    fn tighter_insn_limits_never_change_results_only_truncate(s in spec()) {
-        let prog = build(&s);
+#[test]
+fn tighter_insn_limits_never_change_results_only_truncate() {
+    for_random_specs(0x1131, |s| {
+        let prog = build(s);
         let full = run(&prog, &ExecLimits::default()).expect("terminates");
-        let limits = ExecLimits { max_insns: full.profile.dyn_insns, ..ExecLimits::default() };
+        let limits = ExecLimits {
+            max_insns: full.profile.dyn_insns,
+            ..ExecLimits::default()
+        };
         // a budget exactly equal to the need still succeeds (checked at
         // block granularity, so the final block fits)
         let again = run(&prog, &limits).expect("same budget suffices");
-        prop_assert_eq!(again.ret, full.ret);
+        assert_eq!(again.ret, full.ret);
         if full.profile.dyn_insns > 40 {
-            let tight = ExecLimits { max_insns: 10, ..ExecLimits::default() };
+            let tight = ExecLimits {
+                max_insns: 10,
+                ..ExecLimits::default()
+            };
             let err = run(&prog, &tight).unwrap_err();
             let is_limit = matches!(err, esp_exec::ExecError::InsnLimit { .. });
-            prop_assert!(is_limit, "expected InsnLimit, got {err:?}");
+            assert!(is_limit, "expected InsnLimit, got {err:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn values_round_trip(v in any::<i64>(), f in any::<f64>()) {
-        prop_assert_eq!(Value::from(v).as_int().unwrap(), v);
+#[test]
+fn values_round_trip() {
+    let mut rng = Pcg32::seed_from_u64(0x0a1b);
+    for _ in 0..CASES {
+        let v = rng.next_u64() as i64;
+        assert_eq!(Value::from(v).as_int().unwrap(), v);
+        let f = f64::from_bits(rng.next_u64());
         let vf = Value::from(f).as_float().unwrap();
-        prop_assert!(vf == f || (vf.is_nan() && f.is_nan()));
+        assert!(vf == f || (vf.is_nan() && f.is_nan()));
+    }
+    // the edge cases any::<f64>() used to find
+    for f in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+        let vf = Value::from(f).as_float().unwrap();
+        assert!(vf == f || (vf.is_nan() && f.is_nan()));
     }
 }

@@ -1,12 +1,15 @@
-//! Property tests for the heuristic predictors over randomly generated
+//! Randomized tests for the heuristic predictors over randomly generated
 //! CFGs: APHC consistency, Dempster–Shafer algebra, and heuristic
-//! well-definedness on arbitrary branch shapes.
+//! well-definedness on arbitrary branch shapes, drawn from the in-tree
+//! seeded PCG32 stream.
 
 use esp_heur::{measure_rates, Aphc, BranchCtx, Btfnt, Dshc, Heuristic, HeuristicRates};
 use esp_ir::{
     BlockId, BranchOp, FuncId, FunctionBuilder, Isa, Lang, Program, ProgramAnalysis,
 };
-use proptest::prelude::*;
+use esp_runtime::Pcg32;
+
+const CASES: u64 = 64;
 
 /// Random CFG over `n` blocks, every block a conditional branch except a
 /// final return block; some blocks get stores/calls to trigger the
@@ -16,12 +19,26 @@ struct Shape {
     arms: Vec<(usize, usize, bool, bool)>, // (taken, not_taken, add_store, end_call)
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    prop::collection::vec(
-        (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>()),
-        1..10,
-    )
-    .prop_map(|arms| Shape { arms })
+fn random_shape(rng: &mut Pcg32) -> Shape {
+    let n = rng.gen_range(1..10usize);
+    let arms = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    Shape { arms }
+}
+
+fn for_random_shapes(base_seed: u64, mut check: impl FnMut(&Shape)) {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(base_seed.wrapping_add(case));
+        check(&random_shape(&mut rng));
+    }
 }
 
 fn build(shape: &Shape) -> Program {
@@ -70,12 +87,10 @@ fn build(shape: &Shape) -> Program {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_heuristic_is_total_on_random_cfgs(s in shape()) {
-        let prog = build(&s);
+#[test]
+fn every_heuristic_is_total_on_random_cfgs() {
+    for_random_shapes(0x707A, |s| {
+        let prog = build(s);
         let analysis = ProgramAnalysis::analyze(&prog);
         let aphc = Aphc::table1_order();
         let dshc = Dshc::new(HeuristicRates::ball_larus_mips());
@@ -87,19 +102,21 @@ proptest! {
             }
             // APHC == first applicable heuristic
             let manual = Heuristic::TABLE1_ORDER.iter().find_map(|h| h.predict(&ctx));
-            prop_assert_eq!(aphc.predict(&ctx), manual);
+            assert_eq!(aphc.predict(&ctx), manual);
             // DSHC coverage == any heuristic applies
             let covered = Heuristic::TABLE1_ORDER.iter().any(|h| h.predict(&ctx).is_some());
-            prop_assert_eq!(dshc.predict(&ctx).is_some(), covered);
+            assert_eq!(dshc.predict(&ctx).is_some(), covered);
             if let Some(p) = dshc.prob_taken(&ctx) {
-                prop_assert!((0.0..=1.0).contains(&p));
+                assert!((0.0..=1.0).contains(&p));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn unanimous_heuristics_force_the_dshc_direction(s in shape()) {
-        let prog = build(&s);
+#[test]
+fn unanimous_heuristics_force_the_dshc_direction() {
+    for_random_shapes(0x0514, |s| {
+        let prog = build(s);
         let analysis = ProgramAnalysis::analyze(&prog);
         let dshc = Dshc::new(HeuristicRates::ball_larus_mips());
         for site in prog.branch_sites() {
@@ -111,14 +128,16 @@ proptest! {
             if !preds.is_empty() && preds.iter().all(|p| *p == preds[0]) {
                 // all applicable heuristics agree and all hit rates are > 0.5,
                 // so Dempster-Shafer must follow them
-                prop_assert_eq!(dshc.predict(&ctx), Some(preds[0]));
+                assert_eq!(dshc.predict(&ctx), Some(preds[0]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn measured_rates_are_probabilities(s in shape()) {
-        let prog = build(&s);
+#[test]
+fn measured_rates_are_probabilities() {
+    for_random_shapes(0x4a7e, |s| {
+        let prog = build(s);
         let analysis = ProgramAnalysis::analyze(&prog);
         // fabricate a profile by running the program only if it terminates
         // quickly; random CFGs may loop forever, so bound the budget.
@@ -127,9 +146,9 @@ proptest! {
             let rates = measure_rates([(&prog, &analysis, &out.profile)]);
             for h in Heuristic::TABLE1_ORDER {
                 let r = rates.hit_rate(h);
-                prop_assert!((0.0..=1.0).contains(&r), "{}: {r}", h.name());
-                prop_assert!((rates.miss_rate(h) - (1.0 - r)).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&r), "{}: {r}", h.name());
+                assert!((rates.miss_rate(h) - (1.0 - r)).abs() < 1e-12);
             }
         }
-    }
+    });
 }

@@ -1,13 +1,15 @@
 //! Differential compilation: random programs must compute the same result
 //! under every compiler configuration (O0, rotated, unrolled, if-converted,
 //! MIPS flavour). This exercises the whole optimizer + codegen pipeline
-//! against the interpreter as the semantic oracle.
+//! against the interpreter as the semantic oracle. Programs are drawn from
+//! the in-tree seeded PCG32 stream so every run replays the same cases.
 
+use esp_ir::Lang;
 use esp_lang::ast::{BinOp, Expr, FuncDecl, LValue, Module, Stmt, Type};
 use esp_lang::{compile_module, CompilerConfig};
-use esp_ir::Lang;
-use proptest::prelude::*;
+use esp_runtime::Pcg32;
 
+const CASES: u64 = 48;
 const NUM_VARS: u8 = 4;
 const NUM_LOOP_VARS: usize = 8;
 
@@ -25,31 +27,47 @@ enum GStmt {
     Loop(u8, Vec<GStmt>),
 }
 
-fn gexpr() -> impl Strategy<Value = GExpr> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(GExpr::Lit),
-        (0..(NUM_VARS + NUM_LOOP_VARS as u8)).prop_map(GExpr::Var),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (0u8..10, inner.clone(), inner)
-            .prop_map(|(op, a, b)| GExpr::Bin(op, Box::new(a), Box::new(b)))
-    })
+fn random_gexpr(rng: &mut Pcg32, depth: usize) -> GExpr {
+    if depth == 0 || rng.gen_bool(0.45) {
+        if rng.gen_bool(0.5) {
+            GExpr::Lit(rng.gen_range(-128i64..128) as i8)
+        } else {
+            GExpr::Var(rng.gen_range(0..(NUM_VARS as u32 + NUM_LOOP_VARS as u32)) as u8)
+        }
+    } else {
+        let op = rng.gen_range(0..10u32) as u8;
+        let a = random_gexpr(rng, depth - 1);
+        let b = random_gexpr(rng, depth - 1);
+        GExpr::Bin(op, Box::new(a), Box::new(b))
+    }
 }
 
-fn gstmt() -> impl Strategy<Value = GStmt> {
-    let leaf = (0..NUM_VARS, gexpr()).prop_map(|(v, e)| GStmt::Assign(v, e));
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            (0..NUM_VARS, gexpr()).prop_map(|(v, e)| GStmt::Assign(v, e)),
-            (
-                gexpr(),
-                prop::collection::vec(inner.clone(), 0..3),
-                prop::collection::vec(inner.clone(), 0..2)
-            )
-                .prop_map(|(c, t, f)| GStmt::If(c, t, f)),
-            (0u8..7, prop::collection::vec(inner, 0..3)).prop_map(|(k, b)| GStmt::Loop(k, b)),
-        ]
-    })
+fn random_gstmt(rng: &mut Pcg32, depth: usize) -> GStmt {
+    if depth == 0 {
+        return GStmt::Assign(rng.gen_range(0..NUM_VARS as u32) as u8, random_gexpr(rng, 2));
+    }
+    match rng.gen_range(0..3u32) {
+        0 => GStmt::Assign(rng.gen_range(0..NUM_VARS as u32) as u8, random_gexpr(rng, 3)),
+        1 => {
+            let cond = random_gexpr(rng, 3);
+            let nt = rng.gen_range(0..3usize);
+            let nf = rng.gen_range(0..2usize);
+            let t = (0..nt).map(|_| random_gstmt(rng, depth - 1)).collect();
+            let f = (0..nf).map(|_| random_gstmt(rng, depth - 1)).collect();
+            GStmt::If(cond, t, f)
+        }
+        _ => {
+            let trip = rng.gen_range(0..7u32) as u8;
+            let nb = rng.gen_range(0..3usize);
+            let body = (0..nb).map(|_| random_gstmt(rng, depth - 1)).collect();
+            GStmt::Loop(trip, body)
+        }
+    }
+}
+
+fn random_stmts(rng: &mut Pcg32) -> Vec<GStmt> {
+    let n = rng.gen_range(1..6usize);
+    (0..n).map(|_| random_gstmt(rng, 3)).collect()
 }
 
 fn build_expr(g: &GExpr) -> Expr {
@@ -158,12 +176,11 @@ fn run(module: Module, cfg: &CompilerConfig) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_configs_compute_the_same_value(gs in prop::collection::vec(gstmt(), 1..6)) {
-        let module = build_module(&gs);
+#[test]
+fn all_configs_compute_the_same_value() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xD1FF_u64.wrapping_add(case));
+        let module = build_module(&random_stmts(&mut rng));
         let reference = run(module.clone(), &CompilerConfig::o0());
         for cfg in [
             CompilerConfig::cc_osf1_v12(),
@@ -173,16 +190,19 @@ proptest! {
             CompilerConfig::mips_ref(),
         ] {
             let got = run(module.clone(), &cfg);
-            prop_assert_eq!(got, reference, "config {} diverged", cfg.name);
+            assert_eq!(got, reference, "case {case}: config {} diverged", cfg.name);
         }
     }
+}
 
-    #[test]
-    fn compiled_programs_always_validate(gs in prop::collection::vec(gstmt(), 1..6)) {
-        let module = build_module(&gs);
+#[test]
+fn compiled_programs_always_validate() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x7A11_u64.wrapping_add(case));
+        let module = build_module(&random_stmts(&mut rng));
         for cfg in [CompilerConfig::o0(), CompilerConfig::gem(), CompilerConfig::mips_ref()] {
             let prog = compile_module(module.clone(), &cfg).expect("compiles");
-            prop_assert!(esp_ir::validate_program(&prog).is_ok());
+            assert!(esp_ir::validate_program(&prog).is_ok());
         }
     }
 }

@@ -1,7 +1,14 @@
 //! The feed-forward network and its training loop.
+//!
+//! Training is parallel at two layers — independent restarts, and per-epoch
+//! gradient chunks — and *deterministic by construction*: examples are split
+//! into fixed-size chunks whose boundaries never depend on the thread count,
+//! each chunk's partial gradient is accumulated serially in example order,
+//! and partials are combined by an ordered pairwise reduction whose shape
+//! depends only on the chunk count. Any `threads` setting therefore yields
+//! bitwise-identical weights.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use esp_runtime::{parallel_drain, parallel_map_indices, resolve_threads, Pcg32};
 
 /// One training example: an encoded static feature vector `x`, the branch's
 /// true taken-probability `target` (`t_k`), and its normalized execution
@@ -60,6 +67,9 @@ pub struct MlpConfig {
     pub patience: usize,
     /// RNG seed for weight initialisation.
     pub seed: u64,
+    /// Worker threads for restarts and gradient chunks; `0` means one per
+    /// available core. Has **no effect on the result** — only on wall-clock.
+    pub threads: usize,
 }
 
 impl Default for MlpConfig {
@@ -74,6 +84,7 @@ impl Default for MlpConfig {
             max_epochs: 300,
             patience: 25,
             seed: 0x5eed,
+            threads: 1,
         }
     }
 }
@@ -89,6 +100,13 @@ pub struct TrainReport {
     /// that achieved it.
     pub best_thresholded_error: f64,
 }
+
+/// Examples per gradient chunk. Fixed — never derived from the thread
+/// count — so chunk boundaries (and with them every floating-point sum) are
+/// a function of the data alone. 128 examples amortise the scheduling cost
+/// while leaving plenty of chunks to balance across workers on
+/// corpus-sized folds.
+const GRAD_CHUNK: usize = 128;
 
 /// The paper's branch-prediction network (Figure 1).
 #[derive(Debug, Clone, PartialEq)]
@@ -120,7 +138,21 @@ impl Mlp {
         self.w.iter().map(Vec::len).sum::<usize>() + self.b.len() + self.v.len() + 1
     }
 
-    fn new_random(inputs: usize, hidden: usize, rng: &mut StdRng) -> Self {
+    /// Every free parameter flattened in a fixed order (hidden rows, hidden
+    /// biases, output weights, output bias) — the handle determinism tests
+    /// use to assert bitwise-identical training outcomes.
+    pub fn flat_weights(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for row in &self.w {
+            out.extend_from_slice(row);
+        }
+        out.extend_from_slice(&self.b);
+        out.extend_from_slice(&self.v);
+        out.push(self.a);
+        out
+    }
+
+    fn new_random(inputs: usize, hidden: usize, rng: &mut Pcg32) -> Self {
         let scale = 1.0 / (inputs.max(1) as f64).sqrt();
         let mut weight = |n: usize| -> Vec<f64> {
             (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
@@ -195,8 +227,11 @@ impl Mlp {
             .sum()
     }
 
-    /// Accumulate the batch gradient; returns the epoch's continuous loss.
-    fn batch_gradient(&self, data: &[TrainExample], kind: LossKind, grad: &mut Gradients) -> f64 {
+    /// Serially accumulate the gradient of one chunk of examples, in example
+    /// order; returns the chunk's continuous loss. This is the reference
+    /// accumulator: the parallel path below applies it per chunk and merges
+    /// the partials in a fixed order.
+    fn chunk_gradient(&self, data: &[TrainExample], kind: LossKind, grad: &mut Gradients) -> f64 {
         grad.zero();
         let mut loss = 0.0;
         for ex in data {
@@ -235,6 +270,49 @@ impl Mlp {
         loss
     }
 
+    /// Compute the full batch gradient into `bufs[0]` and return the epoch
+    /// loss. `bufs` holds one reusable buffer per fixed-size chunk; chunk
+    /// partials are computed on `threads` workers and merged by an ordered
+    /// pairwise (stride-doubling) reduction. Chunk boundaries and reduction
+    /// shape depend only on `data.len()`, never on `threads`, so the result
+    /// is bitwise identical for every thread count.
+    fn batch_gradient(
+        &self,
+        data: &[TrainExample],
+        kind: LossKind,
+        bufs: &mut [Gradients],
+        losses: &mut [f64],
+        threads: usize,
+    ) -> f64 {
+        let k = bufs.len();
+        debug_assert_eq!(k, data.len().div_ceil(GRAD_CHUNK));
+        parallel_drain(
+            threads.min(k),
+            bufs.iter_mut()
+                .zip(losses.iter_mut())
+                .zip(data.chunks(GRAD_CHUNK)),
+            |((grad, loss), chunk)| {
+                *loss = self.chunk_gradient(chunk, kind, grad);
+            },
+        );
+        // Ordered pairwise reduction, same shape as `esp_runtime::tree_reduce`
+        // but merging in place so the per-chunk buffers can be reused across
+        // epochs: partials meet as ((c0 c1)(c2 c3))… regardless of which
+        // worker produced them.
+        let mut stride = 1;
+        while stride < k {
+            let mut i = 0;
+            while i + stride < k {
+                let (head, tail) = bufs.split_at_mut(i + stride);
+                head[i].add_assign(&tail[0]);
+                losses[i] += losses[i + stride];
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+        losses[0]
+    }
+
     fn apply(&mut self, grad: &Gradients, lr: f64) {
         for (wi, gi) in self.w.iter_mut().zip(&grad.w) {
             for (w, g) in wi.iter_mut().zip(gi) {
@@ -255,6 +333,11 @@ impl Mlp {
     /// `cfg.restarts` independent initialisations. Returns the weights that
     /// achieved the best thresholded error across all restarts.
     ///
+    /// Restarts run concurrently on `cfg.threads` workers (each restart is a
+    /// pure function of its seed), and leftover workers parallelise each
+    /// restart's gradient chunks. The winner is selected in restart order
+    /// with a strict `<`, so the outcome is identical to the serial sweep.
+    ///
     /// # Panics
     ///
     /// Panics if `data` is empty or examples disagree on dimensionality.
@@ -266,9 +349,20 @@ impl Mlp {
             "inconsistent feature dimensionality"
         );
         let restarts = cfg.restarts.max(1);
+        let total = resolve_threads(cfg.threads);
+        let concurrent = total.min(restarts);
+        let chunk_threads = (total / concurrent).max(1);
+        let results = parallel_map_indices(concurrent, restarts, |r| {
+            Mlp::train_once(
+                data,
+                cfg,
+                cfg.seed.wrapping_add(r as u64),
+                inputs,
+                chunk_threads,
+            )
+        });
         let mut outcome: Option<(Mlp, TrainReport)> = None;
-        for r in 0..restarts {
-            let (m, rep) = Mlp::train_once(data, cfg, cfg.seed.wrapping_add(r as u64), inputs);
+        for (m, rep) in results {
             let better = outcome
                 .as_ref()
                 .is_none_or(|(_, b)| rep.best_thresholded_error < b.best_thresholded_error);
@@ -284,10 +378,13 @@ impl Mlp {
         cfg: &MlpConfig,
         seed: u64,
         inputs: usize,
+        threads: usize,
     ) -> (Mlp, TrainReport) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let mut mlp = Mlp::new_random(inputs, cfg.hidden, &mut rng);
-        let mut grad = Gradients::like(&mlp);
+        let num_chunks = data.len().div_ceil(GRAD_CHUNK);
+        let mut bufs: Vec<Gradients> = (0..num_chunks).map(|_| Gradients::like(&mlp)).collect();
+        let mut losses = vec![0.0; num_chunks];
         let mut lr = cfg.learning_rate;
         // Normalise the step by total example weight so hyper-parameters are
         // insensitive to corpus size.
@@ -302,9 +399,9 @@ impl Mlp {
 
         for epoch in 0..cfg.max_epochs {
             epochs = epoch + 1;
-            let loss = mlp.batch_gradient(data, cfg.loss, &mut grad);
+            let loss = mlp.batch_gradient(data, cfg.loss, &mut bufs, &mut losses, threads);
             final_loss = loss;
-            mlp.apply(&grad, lr / total_weight);
+            mlp.apply(&bufs[0], lr / total_weight);
             // Adaptive learning rate, no momentum (paper §3.1.1). Clamped so
             // a long run of improving epochs cannot blow the step size up.
             lr *= if loss < prev_loss { cfg.lr_up } else { cfg.lr_down };
@@ -360,6 +457,21 @@ impl Gradients {
         self.v.fill(0.0);
         self.a = 0.0;
     }
+
+    fn add_assign(&mut self, other: &Gradients) {
+        for (wi, oi) in self.w.iter_mut().zip(&other.w) {
+            for (w, o) in wi.iter_mut().zip(oi) {
+                *w += o;
+            }
+        }
+        for (b, o) in self.b.iter_mut().zip(&other.b) {
+            *b += o;
+        }
+        for (v, o) in self.v.iter_mut().zip(&other.v) {
+            *v += o;
+        }
+        self.a += other.a;
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +496,7 @@ mod tests {
 
     #[test]
     fn output_is_in_unit_interval() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let m = Mlp::new_random(5, 7, &mut rng);
         for i in 0..50 {
             let x: Vec<f64> = (0..5).map(|j| ((i * 7 + j) as f64).sin() * 3.0).collect();
@@ -456,10 +568,10 @@ mod tests {
                 weight: 0.5 + (i as f64) / 10.0,
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Pcg32::seed_from_u64(9);
         let m = Mlp::new_random(2, 3, &mut rng);
         let mut grad = Gradients::like(&m);
-        m.batch_gradient(&data, LossKind::Linear, &mut grad);
+        m.chunk_gradient(&data, LossKind::Linear, &mut grad);
 
         let eps = 1e-6;
         // check a few representative parameters
@@ -510,7 +622,7 @@ mod tests {
 
     #[test]
     fn zero_hidden_is_a_linear_model() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Pcg32::seed_from_u64(4);
         let m = Mlp::new_random(3, 0, &mut rng);
         assert_eq!(m.num_hidden(), 0);
         assert_eq!(m.num_params(), 3 + 1);
@@ -553,6 +665,96 @@ mod tests {
         let (m2, r2) = Mlp::train(&data, &cfg);
         assert_eq!(r1, r2);
         assert_eq!(m1.predict(&[0.3, -0.4]), m2.predict(&[0.3, -0.4]));
+    }
+
+    /// Data big enough for several gradient chunks, varied enough that every
+    /// parameter's gradient is nonzero.
+    fn chunky_data(n: usize) -> Vec<TrainExample> {
+        (0..n)
+            .map(|i| TrainExample {
+                x: vec![
+                    ((i * 13) % 29) as f64 / 14.0 - 1.0,
+                    ((i * 7) % 23) as f64 / 11.0 - 1.0,
+                    ((i * 31) % 17) as f64 / 8.0 - 1.0,
+                ],
+                target: ((i * 11) % 10) as f64 / 9.0,
+                weight: 0.2 + ((i * 3) % 7) as f64 / 5.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_gradient_matches_serial_accumulator() {
+        // The chunked, tree-reduced gradient must agree with the plain
+        // serial accumulator (one chunk spanning all data) up to float
+        // reassociation noise.
+        let data = chunky_data(GRAD_CHUNK * 3 + 17);
+        let mut rng = Pcg32::seed_from_u64(21);
+        let m = Mlp::new_random(3, 5, &mut rng);
+
+        let mut serial = Gradients::like(&m);
+        let serial_loss = m.chunk_gradient(&data, LossKind::Linear, &mut serial);
+
+        let k = data.len().div_ceil(GRAD_CHUNK);
+        let mut bufs: Vec<Gradients> = (0..k).map(|_| Gradients::like(&m)).collect();
+        let mut losses = vec![0.0; k];
+        let chunked_loss = m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, 1);
+
+        assert!((serial_loss - chunked_loss).abs() < 1e-9);
+        for (s, c) in serial.v.iter().zip(&bufs[0].v) {
+            assert!((s - c).abs() < 1e-9, "v gradient diverged: {s} vs {c}");
+        }
+        for (sr, cr) in serial.w.iter().zip(&bufs[0].w) {
+            for (s, c) in sr.iter().zip(cr) {
+                assert!((s - c).abs() < 1e-9, "w gradient diverged: {s} vs {c}");
+            }
+        }
+        assert!((serial.a - bufs[0].a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunked_gradient_is_bitwise_identical_across_thread_counts() {
+        let data = chunky_data(GRAD_CHUNK * 5 + 3);
+        let mut rng = Pcg32::seed_from_u64(22);
+        let m = Mlp::new_random(3, 6, &mut rng);
+        let k = data.len().div_ceil(GRAD_CHUNK);
+
+        let grad_bits = |threads: usize| -> (u64, Vec<u64>) {
+            let mut bufs: Vec<Gradients> = (0..k).map(|_| Gradients::like(&m)).collect();
+            let mut losses = vec![0.0; k];
+            let loss = m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, threads);
+            let mut bits = vec![bufs[0].a.to_bits()];
+            bits.extend(bufs[0].v.iter().map(|x| x.to_bits()));
+            bits.extend(bufs[0].b.iter().map(|x| x.to_bits()));
+            bits.extend(bufs[0].w.iter().flatten().map(|x| x.to_bits()));
+            (loss.to_bits(), bits)
+        };
+
+        let reference = grad_bits(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(grad_bits(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let data = chunky_data(GRAD_CHUNK * 2 + 9);
+        let base = MlpConfig {
+            hidden: 5,
+            restarts: 3,
+            max_epochs: 40,
+            patience: 40,
+            seed: 77,
+            ..MlpConfig::default()
+        };
+        let (m1, r1) = Mlp::train(&data, &MlpConfig { threads: 1, ..base.clone() });
+        for threads in [2, 4] {
+            let (mt, rt) = Mlp::train(&data, &MlpConfig { threads, ..base.clone() });
+            assert_eq!(r1, rt, "threads={threads} report diverged");
+            let b1: Vec<u64> = m1.flat_weights().iter().map(|x| x.to_bits()).collect();
+            let bt: Vec<u64> = mt.flat_weights().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(b1, bt, "threads={threads} weights diverged");
+        }
     }
 
     #[test]

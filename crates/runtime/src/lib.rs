@@ -1,0 +1,24 @@
+//! Std-only deterministic runtime shared by the whole workspace.
+//!
+//! Two small pieces, both free of external dependencies so the workspace
+//! builds with zero registry access:
+//!
+//! * [`rng`] — a seeded [`Pcg32`] generator (seeded through SplitMix64) with
+//!   the `seed_from_u64` / `gen_range` / `gen_bool` surface the corpus
+//!   generators and the network initialiser need. Identical seeds produce
+//!   identical streams on every platform.
+//! * [`pool`] — a [`std::thread::scope`]-based worker pool for the
+//!   embarrassingly-parallel layers of the ESP pipeline (profiling runs,
+//!   cross-validation folds, training restarts, gradient chunks), plus an
+//!   *ordered* pairwise tree reduction whose shape depends only on the item
+//!   count — the building block that keeps parallel floating-point results
+//!   bitwise identical to serial ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod rng;
+
+pub use pool::{parallel_drain, parallel_map, parallel_map_indices, resolve_threads, tree_reduce};
+pub use rng::{Pcg32, SplitMix64};

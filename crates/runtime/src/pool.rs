@@ -1,0 +1,201 @@
+//! Scoped worker pool and deterministic reduction.
+//!
+//! All parallelism in the workspace goes through these helpers. The
+//! contract, relied on by the ESP pipeline's determinism guarantee, is:
+//!
+//! * work items are pure functions of their index/input, so *which thread*
+//!   runs an item never affects its value;
+//! * results are returned **in input order**, regardless of completion
+//!   order;
+//! * floating-point combination of partial results goes through
+//!   [`tree_reduce`], whose reduction shape depends only on the number of
+//!   items — never on the thread count — so parallel runs are bitwise
+//!   identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `threads` knob: `0` means one worker per available core.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Apply `f` to `0..n` on `threads` workers and collect results in index
+/// order. Items are claimed dynamically (an atomic cursor), so uneven item
+/// costs balance out; the output order is fixed by construction.
+pub fn parallel_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let t = resolve_threads(threads).min(n.max(1));
+    if t <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index produced"))
+        .collect()
+}
+
+/// Apply `f` to every element of `items` on `threads` workers; results come
+/// back in `items` order.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indices(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Drain an iterator of independent jobs across `threads` workers.
+///
+/// This is the primitive behind per-epoch gradient chunks: the caller hands
+/// out disjoint `&mut` borrows (e.g. `bufs.iter_mut().zip(chunks)`) and each
+/// job is executed exactly once. Jobs are claimed under a mutex, which is
+/// negligible as long as each job does real work.
+pub fn parallel_drain<I, F>(threads: usize, jobs: I, f: F)
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    let t = resolve_threads(threads);
+    let jobs = Mutex::new(jobs);
+    let run = |jobs: &Mutex<I>| loop {
+        let job = jobs.lock().expect("job feed poisoned").next();
+        match job {
+            Some(j) => f(j),
+            None => break,
+        }
+    };
+    if t <= 1 {
+        run(&jobs);
+        return;
+    }
+    std::thread::scope(|s| {
+        for _ in 0..t {
+            s.spawn(|| run(&jobs));
+        }
+    });
+}
+
+/// Ordered pairwise tree reduction: `[a, b, c, d, e]` reduces as
+/// `merge(merge(a,b), merge(c,d))` then `merge(.., e)` — a fixed shape that
+/// depends only on `items.len()`. Used to combine floating-point partials
+/// deterministically: the same chunks always merge in the same order, so
+/// thread count cannot perturb the result. Returns `None` on empty input.
+pub fn tree_reduce<T>(items: Vec<T>, mut merge: impl FnMut(T, T) -> T) -> Option<T> {
+    let mut layer = items;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge(a, b)),
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+    layer.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_uses_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let serial = parallel_map_indices(1, 100, |i| i * i);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(parallel_map_indices(t, 100, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn map_over_slice_matches_iterator() {
+        let items: Vec<i64> = (0..37).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * 3 - 1).collect();
+        assert_eq!(parallel_map(4, &items, |x| x * 3 - 1), expect);
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<usize> = parallel_map_indices(4, 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map_indices(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn drain_runs_every_job_once() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        for t in [1, 4] {
+            for h in &hits {
+                h.store(0, Ordering::Relaxed);
+            }
+            parallel_drain(t, hits.iter(), |h| {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn tree_reduce_shape_is_fixed() {
+        // With string concatenation (non-associative in shape), the result
+        // encodes the reduction tree; it must match the documented shape.
+        let items: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let out = tree_reduce(items, |a, b| format!("({a}{b})")).unwrap();
+        assert_eq!(out, "(((ab)(cd))e)");
+        assert_eq!(tree_reduce(Vec::<i32>::new(), |a, _| a), None);
+        assert_eq!(tree_reduce(vec![5], |a, b| a + b), Some(5));
+    }
+
+    #[test]
+    fn float_tree_reduce_is_reproducible() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.017).collect();
+        let a = tree_reduce(xs.clone(), |x, y| x + y).unwrap();
+        let b = tree_reduce(xs, |x, y| x + y).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

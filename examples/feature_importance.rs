@@ -75,6 +75,7 @@ fn main() {
                     ..MlpConfig::default()
                 }),
                 features,
+                ..EspConfig::default()
             },
         );
         let mut misses = 0.0f64;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, hermetic by construction: every step runs with
+# --offline so a regression that reintroduces a registry dependency fails
+# here rather than on the first airgapped machine.
+#
+#   scripts/verify.sh          # build + test + bench smoke
+#   scripts/verify.sh --fast   # build + test only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --workspace --offline"
+cargo test -q --workspace --offline
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> bench smoke (quick pipeline bench, writes BENCH_pipeline.json)"
+    cargo run --release --offline -q -p esp-bench --bin bench_pipeline -- --quick
+    echo "==> BENCH_pipeline.json:"
+    cat BENCH_pipeline.json
+fi
+
+echo "==> verify OK"

@@ -19,6 +19,7 @@ fn quick_net() -> EspConfig {
             ..MlpConfig::default()
         }),
         features: FeatureSet::default(),
+        ..EspConfig::default()
     }
 }
 
@@ -70,6 +71,7 @@ fn net_and_tree_learners_are_comparable() {
     let tree_cfg = EspConfig {
         learner: Learner::Tree(TreeConfig::default()),
         features: FeatureSet::default(),
+        ..EspConfig::default()
     };
     let mut net_rates = Vec::new();
     let mut tree_rates = Vec::new();

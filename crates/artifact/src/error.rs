@@ -1,0 +1,70 @@
+//! Typed artifact errors. Every failure mode of reading a model file —
+//! wrong file type, future format, bit rot, short read, nonsense layout —
+//! maps to its own variant so callers (and tests) can tell them apart, and
+//! none of them panics.
+
+use std::fmt;
+
+/// Everything that can go wrong persisting or loading a model artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `ESPM` magic — not an artifact.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The payload's CRC32 does not match the header — the file is damaged.
+    CorruptChecksum {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// The file ends before the declared data does.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The bytes decode but describe an impossible model (dimension
+    /// mismatches, trailing garbage, invalid names, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "I/O error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not an ESP model artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            ArtifactError::CorruptChecksum { expected, actual } => write!(
+                f,
+                "payload checksum mismatch (header {expected:#010x}, computed {actual:#010x})"
+            ),
+            ArtifactError::Truncated { needed, available } => write!(
+                f,
+                "artifact truncated: needed {needed} more bytes, {available} available"
+            ),
+            ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}

@@ -1,0 +1,397 @@
+//! The `.espm` binary format: a versioned, CRC-checked container that
+//! round-trips everything inference needs — network topology and weights,
+//! feature-encoding configuration, normalization statistics, Ball–Larus
+//! heuristic rate tables, and training provenance.
+//!
+//! # Layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ESPM"
+//! 4       4     format version, u32 LE        (this file: 1)
+//! 8       8     payload length, u64 LE
+//! 16      4     CRC32(payload), u32 LE        (IEEE polynomial)
+//! 20      …     payload
+//! ```
+//!
+//! Payload, all little-endian, floats as raw IEEE-754 bits:
+//!
+//! ```text
+//! str   corpus_id            (u32 byte length + UTF-8)
+//! u64   seed                 learner RNG seed
+//! u32   fold                 cross-validation fold, u32::MAX = none
+//! u64   examples             training examples the model saw
+//! u8×3  feature set          opcode / context / successor group switches
+//! f64[] mean                 per-feature normalization means
+//! f64[] inv_std              per-feature inverse standard deviations
+//! u32   inputs, u32 hidden   network topology
+//! f64[] weights              Mlp::flat_weights order
+//! u8    rates present?       0 or 1
+//! f64×9 hit rates            (present = 1) Heuristic::ordinal order
+//! u64×9 coverage             (present = 1)
+//! ```
+//!
+//! **Version policy:** any change to this layout — field added, removed,
+//! reordered, or re-typed — bumps [`FORMAT_VERSION`]. Readers reject newer
+//! versions with [`ArtifactError::UnsupportedVersion`] instead of guessing.
+
+use std::path::Path;
+
+use esp_core::{EspModel, FeatureSet, FittedEncoder};
+use esp_heur::HeuristicRates;
+use esp_nnet::{Mlp, Normalizer};
+use esp_runtime::Pcg32;
+
+use crate::bytes::{crc32, ByteReader, ByteWriter};
+use crate::error::ArtifactError;
+
+/// File magic: the first four bytes of every `.espm` file.
+pub const MAGIC: [u8; 4] = *b"ESPM";
+
+/// Current artifact format version. Bump on **any** layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size preceding the payload.
+pub const HEADER_LEN: usize = 20;
+
+const NO_FOLD: u32 = u32::MAX;
+
+/// Training provenance carried inside every artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Which corpus (or corpus subset) the model was trained on.
+    pub corpus_id: String,
+    /// Learner RNG seed, after any per-fold offset.
+    pub seed: u64,
+    /// Cross-validation fold index, if the model is one fold of a study.
+    pub fold: Option<u32>,
+    /// Number of training examples the model saw.
+    pub examples: u64,
+}
+
+/// A complete, self-contained trained predictor: everything `esp-serve`
+/// needs to answer per-branch queries without retraining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Training provenance.
+    pub meta: ModelMeta,
+    /// Feature-set choice plus fitted normalization statistics.
+    pub encoder: FittedEncoder,
+    /// The trained network.
+    pub mlp: Mlp,
+    /// Ball–Larus heuristic hit rates measured on the training corpus, when
+    /// the producer recorded them (used by Dempster–Shafer baselines, not by
+    /// the network itself).
+    pub rates: Option<HeuristicRates>,
+}
+
+impl ModelArtifact {
+    /// Package a trained [`EspModel`] for persistence.
+    ///
+    /// Returns [`ArtifactError::Malformed`] for tree-backed models — format
+    /// version 1 only carries networks.
+    pub fn from_model(
+        model: &EspModel,
+        meta: ModelMeta,
+        rates: Option<HeuristicRates>,
+    ) -> Result<Self, ArtifactError> {
+        let mlp = model.mlp().ok_or_else(|| {
+            ArtifactError::Malformed("format v1 persists network models only, not trees".into())
+        })?;
+        Ok(ModelArtifact {
+            meta,
+            encoder: model.encoder().clone(),
+            mlp: mlp.clone(),
+            rates,
+        })
+    }
+
+    /// Rebuild the in-memory model. Predictions of the result are bitwise
+    /// identical to the model that was packaged.
+    pub fn to_model(&self) -> EspModel {
+        EspModel::from_net_parts(
+            self.encoder.clone(),
+            self.mlp.clone(),
+            self.meta.examples as usize,
+        )
+    }
+
+    /// Input dimensionality (encoder and network agree by construction).
+    pub fn dim(&self) -> usize {
+        self.encoder.normalizer().dim()
+    }
+
+    /// A deterministic, training-free artifact: random-initialised weights
+    /// and benign normalization statistics from a seeded PCG32 stream. Used
+    /// by the serve load generator and tests, where what matters is a model
+    /// of realistic shape, not a good one.
+    pub fn synthetic(dim: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mean: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let inv_std: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let weights: Vec<f64> = (0..Mlp::param_count(dim, hidden))
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        ModelArtifact {
+            meta: ModelMeta {
+                corpus_id: format!("synthetic-{seed}"),
+                seed,
+                fold: None,
+                examples: 0,
+            },
+            encoder: FittedEncoder::from_parts(
+                Normalizer::from_parts(mean, inv_std),
+                FeatureSet::default(),
+            ),
+            mlp: Mlp::from_flat_weights(dim, hidden, &weights).expect("count matches topology"),
+            rates: Some(HeuristicRates::ball_larus_mips()),
+        }
+    }
+
+    /// Serialize to the `.espm` byte layout. Deterministic: the same
+    /// artifact always produces the same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = ByteWriter::new();
+        p.str(&self.meta.corpus_id);
+        p.u64(self.meta.seed);
+        p.u32(self.meta.fold.unwrap_or(NO_FOLD));
+        p.u64(self.meta.examples);
+        let set = self.encoder.feature_set();
+        p.u8(set.opcode_features as u8);
+        p.u8(set.context_features as u8);
+        p.u8(set.successor_features as u8);
+        p.f64_slice(self.encoder.normalizer().mean());
+        p.f64_slice(self.encoder.normalizer().inv_std());
+        p.u32(self.mlp.num_inputs() as u32);
+        p.u32(self.mlp.num_hidden() as u32);
+        p.f64_slice(&self.mlp.flat_weights());
+        match &self.rates {
+            None => p.u8(0),
+            Some(r) => {
+                p.u8(1);
+                for hit in r.hit_array() {
+                    p.f64(hit);
+                }
+                for c in r.coverage {
+                    p.u64(c);
+                }
+            }
+        }
+        let payload = p.into_bytes();
+
+        let mut out = ByteWriter::new();
+        out.u8(MAGIC[0]);
+        out.u8(MAGIC[1]);
+        out.u8(MAGIC[2]);
+        out.u8(MAGIC[3]);
+        out.u32(FORMAT_VERSION);
+        out.u64(payload.len() as u64);
+        out.u32(crc32(&payload));
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Decode an `.espm` byte buffer, verifying magic, version, declared
+    /// length and checksum before touching the payload. Never panics on
+    /// hostile input: every failure is a typed [`ArtifactError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut h = ByteReader::new(bytes);
+        let magic = [h.u8()?, h.u8()?, h.u8()?, h.u8()?];
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = h.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let payload_len = h.u64()? as usize;
+        let expected_crc = h.u32()?;
+        if h.remaining() < payload_len {
+            return Err(ArtifactError::Truncated {
+                needed: payload_len,
+                available: h.remaining(),
+            });
+        }
+        if h.remaining() > payload_len {
+            return Err(ArtifactError::Malformed(format!(
+                "{} bytes beyond the declared payload",
+                h.remaining() - payload_len
+            )));
+        }
+        let payload = &bytes[HEADER_LEN..];
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(ArtifactError::CorruptChecksum {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+
+        let mut r = ByteReader::new(payload);
+        let corpus_id = r.str()?;
+        let seed = r.u64()?;
+        let fold = match r.u32()? {
+            NO_FOLD => None,
+            f => Some(f),
+        };
+        let examples = r.u64()?;
+        let set = FeatureSet {
+            opcode_features: r.u8()? != 0,
+            context_features: r.u8()? != 0,
+            successor_features: r.u8()? != 0,
+        };
+        let mean = r.f64_slice()?;
+        let inv_std = r.f64_slice()?;
+        if mean.len() != inv_std.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "normalizer mean ({}) and inv_std ({}) lengths differ",
+                mean.len(),
+                inv_std.len()
+            )));
+        }
+        let inputs = r.u32()? as usize;
+        let hidden = r.u32()? as usize;
+        let weights = r.f64_slice()?;
+        if inputs != mean.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "network expects {inputs} inputs but the encoder is {}-dimensional",
+                mean.len()
+            )));
+        }
+        let mlp = Mlp::from_flat_weights(inputs, hidden, &weights).ok_or_else(|| {
+            ArtifactError::Malformed(format!(
+                "weight count {} does not match topology ({inputs} inputs, {hidden} hidden)",
+                weights.len()
+            ))
+        })?;
+        let rates = match r.u8()? {
+            0 => None,
+            1 => {
+                let mut hit = [0.0f64; 9];
+                for h in &mut hit {
+                    *h = r.f64()?;
+                }
+                let mut coverage = [0u64; 9];
+                for c in &mut coverage {
+                    *c = r.u64()?;
+                }
+                Some(HeuristicRates::from_parts(hit, coverage))
+            }
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "rates-present flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        r.finish()?;
+
+        Ok(ModelArtifact {
+            meta: ModelMeta {
+                corpus_id,
+                seed,
+                fold,
+                examples,
+            },
+            encoder: FittedEncoder::from_parts(Normalizer::from_parts(mean, inv_std), set),
+            mlp,
+            rates,
+        })
+    }
+
+    /// Write the artifact to `path` atomically (temp file + rename), so a
+    /// crash mid-write never leaves a half-model behind.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("espm.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and decode an artifact from `path`.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_round_trips_through_bytes() {
+        let a = ModelArtifact::synthetic(12, 5, 99);
+        let bytes = a.to_bytes();
+        let b = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.mlp, b.mlp);
+        assert_eq!(a.encoder, b.encoder);
+        assert_eq!(a.rates, b.rates);
+        // serialize → deserialize → serialize is byte-identical
+        assert_eq!(bytes, b.to_bytes());
+    }
+
+    #[test]
+    fn zero_hidden_topology_round_trips() {
+        let a = ModelArtifact::synthetic(7, 0, 5);
+        let b = ModelArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = ModelArtifact::synthetic(3, 2, 1).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = ModelArtifact::synthetic(3, 2, 1).to_bytes();
+        bytes[4] = 0xFF; // version LE low byte
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut bytes = ModelArtifact::synthetic(3, 2, 1).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::CorruptChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = ModelArtifact::synthetic(3, 2, 1).to_bytes();
+        for cut in [3, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
+            let err = ModelArtifact::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ArtifactError::Truncated { .. }),
+                "cut at {cut}: expected Truncated, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = ModelArtifact::synthetic(3, 2, 1).to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
+//!              [--save-model DIR] [--load-model DIR]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
@@ -9,9 +10,18 @@
 //! is preserved, absolute numbers move a little. `--threads` caps the worker
 //! count for corpus profiling and cross-validation folds (`0`, the default,
 //! means one per core); every thread count produces identical tables.
+//!
+//! `--save-model DIR` writes every Table 4 cross-validation fold to a model
+//! registry under `DIR` as `.espm` artifacts; `--load-model DIR` reads them
+//! back on a later run, skipping the fold's training entirely. Loaded models
+//! predict bitwise-identically to freshly trained ones, so the table output
+//! does not change. Passing both (typically the same DIR) populates the
+//! cache on first run and reuses it afterwards.
 
 use esp_core::{EspConfig, Learner};
-use esp_eval::{fig1, table3, table4, table5, table6, table7, SuiteData, Table4Config};
+use esp_eval::{
+    fig1, table3, table4, table5, table6, table7, ModelCache, SuiteData, Table4Config,
+};
 use esp_lang::CompilerConfig;
 use esp_nnet::MlpConfig;
 
@@ -49,11 +59,33 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(0);
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let save_dir = flag_value("--save-model");
+    let load_dir = flag_value("--load-model");
+    let model_cache = match (save_dir, load_dir) {
+        (None, None) => None,
+        (Some(s), Some(l)) if s != l => {
+            eprintln!("--save-model and --load-model must point at the same registry DIR");
+            std::process::exit(2);
+        }
+        (s, l) => Some(ModelCache {
+            dir: s.or(l).expect("at least one set").into(),
+            save: s.is_some(),
+            load: l.is_some(),
+        }),
+    };
+    // Flags that consume the next argument, so it can't be the artifact name.
+    let value_flags = ["--threads", "--save-model", "--load-model"];
     let what = args
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            !a.starts_with("--") && !(i > 0 && args[i - 1] == "--threads")
+            !a.starts_with("--") && !(i > 0 && value_flags.contains(&args[i - 1].as_str()))
         })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
@@ -72,6 +104,7 @@ fn main() {
         );
         let cfg = Table4Config {
             esp: esp_config(quick, threads),
+            model_cache: model_cache.clone(),
         };
         println!("{}", table4(suite, &cfg));
     };

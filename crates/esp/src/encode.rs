@@ -117,7 +117,7 @@ pub fn encode(f: &BranchFeatures, set: &FeatureSet) -> (Vec<f64>, Vec<bool>) {
 }
 
 /// A fitted encoder: normalization statistics plus the feature-set choice.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedEncoder {
     norm: Normalizer,
     set: FeatureSet,
@@ -132,6 +132,17 @@ impl FittedEncoder {
     pub fn fit(rows: &[(Vec<f64>, Vec<bool>)], set: FeatureSet) -> Self {
         let norm = Normalizer::fit(rows.iter().map(|(v, _)| v.as_slice()));
         FittedEncoder { norm, set }
+    }
+
+    /// Rebuild an encoder from persisted normalization statistics and the
+    /// feature-set choice — the import half of model artifacts.
+    pub fn from_parts(norm: Normalizer, set: FeatureSet) -> Self {
+        FittedEncoder { norm, set }
+    }
+
+    /// The fitted normalization statistics (export half of model artifacts).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.norm
     }
 
     /// The feature-set choice baked into this encoder.

@@ -137,9 +137,35 @@ impl EspModel {
         }
     }
 
+    /// Rebuild a network-backed model from its persisted parts (fitted
+    /// encoder, trained network, example count) — the import half of model
+    /// artifacts. A model rebuilt from the parts exported by
+    /// [`EspModel::encoder`]/[`EspModel::mlp`] predicts bitwise-identically
+    /// to the original.
+    pub fn from_net_parts(encoder: FittedEncoder, mlp: Mlp, examples: usize) -> Self {
+        EspModel {
+            encoder,
+            fitted: Fitted::Net(mlp),
+            examples,
+        }
+    }
+
     /// Number of training examples used.
     pub fn num_examples(&self) -> usize {
         self.examples
+    }
+
+    /// The fitted encoder (feature set + normalization statistics).
+    pub fn encoder(&self) -> &FittedEncoder {
+        &self.encoder
+    }
+
+    /// The fitted network, or `None` for a tree learner.
+    pub fn mlp(&self) -> Option<&Mlp> {
+        match &self.fitted {
+            Fitted::Net(m) => Some(m),
+            Fitted::Tree(_) => None,
+        }
     }
 
     /// The fitted network's flattened parameters, or `None` for a tree
@@ -161,6 +187,24 @@ impl EspModel {
     ) -> f64 {
         let f = extract(prog, analysis, site);
         let x = self.encoder.encode(&f);
+        match &self.fitted {
+            Fitted::Net(m) => m.predict(&x),
+            Fitted::Tree(t) => t.predict(&x),
+        }
+    }
+
+    /// Predict from a *raw* encoded feature row plus its meaningful-position
+    /// mask — the pair produced by [`crate::encode::encode`] — applying this
+    /// model's normalization and gating first. This is the wire-level entry
+    /// point used by `esp-serve`: clients ship raw rows, the server owns the
+    /// training-set statistics, and the result is bitwise identical to
+    /// [`EspModel::predict_prob`] on the same branch site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the encoder's dimensionality.
+    pub fn predict_prob_encoded(&self, row: &[f64], mask: &[bool]) -> f64 {
+        let x = self.encoder.transform(row, mask);
         match &self.fitted {
             Fitted::Net(m) => m.predict(&x),
             Fitted::Tree(t) => t.predict(&x),

@@ -37,7 +37,7 @@ pub mod table7;
 pub use data::{BenchData, SuiteData};
 pub use miss::{expected_misses, miss_rate, Prediction};
 pub use table3::{table3, Table3Row};
-pub use table4::{table4, Table4Config, Table4Row};
+pub use table4::{table4, ModelCache, Table4Config, Table4Row};
 pub use table5::{table5, Table5Row};
 pub use table6::table6;
 pub use table7::table7;

@@ -1,7 +1,10 @@
 //! Table 4: the headline comparison — BTFNT, APHC, DSHC(B&L), DSHC(Ours),
 //! ESP and perfect static prediction, per program with group averages.
 
-use esp_core::{leave_one_out, EspConfig, TrainingProgram};
+use std::path::PathBuf;
+
+use esp_artifact::{ModelArtifact, ModelMeta, Registry};
+use esp_core::{leave_one_out, EspConfig, EspModel, Learner, TrainingProgram};
 use esp_corpus::Group;
 use esp_heur::{
     measure_rates, perfect_predict, Aphc, BranchCtx, Btfnt, Dshc, HeuristicRates,
@@ -12,11 +15,26 @@ use crate::data::SuiteData;
 use crate::fmt::{pct, TextTable};
 use crate::miss::{mean, miss_rate, Prediction};
 
+/// Registry-backed caching of Table 4's per-fold models, so re-runs can skip
+/// the expensive leave-one-out retraining. Fold models are stored under the
+/// names `table4-<lang>-fold<i>` as version 1 (re-saving overwrites).
+#[derive(Debug, Clone)]
+pub struct ModelCache {
+    /// Registry root directory.
+    pub dir: PathBuf,
+    /// Save each trained fold after training it.
+    pub save: bool,
+    /// Load a fold from the registry instead of training, when present.
+    pub load: bool,
+}
+
 /// Options for the Table 4 study.
 #[derive(Debug, Clone, Default)]
 pub struct Table4Config {
     /// ESP learner and feature options.
     pub esp: EspConfig,
+    /// Optional fold-model cache (`--save-model` / `--load-model`).
+    pub model_cache: Option<ModelCache>,
 }
 
 /// One program's Table 4 row (fractions, not percentages).
@@ -87,7 +105,7 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
             })
             .collect();
         for (fold, &bench_i) in idx.iter().enumerate() {
-            let model = leave_one_out(&group, fold, &cfg.esp);
+            let model = fold_model(suite, cfg, lang, fold, &group);
             let b = &suite.benches[bench_i];
             esp_miss[bench_i] = miss_rate(b, |site| {
                 Prediction::from(Some(model.predict_taken(&b.prog, &b.analysis, site)))
@@ -113,6 +131,58 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
             }
         })
         .collect()
+}
+
+/// Produce one cross-validation fold's model, consulting the artifact
+/// registry when a [`ModelCache`] is configured: load the fold if allowed
+/// and present (skipping retraining entirely), otherwise train it with
+/// [`leave_one_out`] and save it if asked. Cached models predict bitwise
+/// identically to freshly trained ones, so the table is unchanged either way.
+fn fold_model(
+    suite: &SuiteData,
+    cfg: &Table4Config,
+    lang: Lang,
+    fold: usize,
+    group: &[TrainingProgram<'_>],
+) -> EspModel {
+    let Some(cache) = &cfg.model_cache else {
+        return leave_one_out(group, fold, &cfg.esp);
+    };
+    let reg = Registry::open(&cache.dir);
+    let lang_tag = match lang {
+        Lang::C => "c",
+        Lang::Fort => "fort",
+    };
+    let name = format!("table4-{lang_tag}-fold{fold}");
+    if cache.load {
+        match reg.load(&name, None) {
+            Ok((v, artifact)) => {
+                eprintln!("  fold {name}: loaded v{v} from {}", cache.dir.display());
+                return artifact.to_model();
+            }
+            Err(e) => eprintln!("  fold {name}: cache miss ({e}); training"),
+        }
+    }
+    let model = leave_one_out(group, fold, &cfg.esp);
+    if cache.save {
+        let seed = match &cfg.esp.learner {
+            Learner::Net(m) => m.seed,
+            _ => 0,
+        };
+        let meta = ModelMeta {
+            corpus_id: suite.config.name.to_string(),
+            seed,
+            fold: Some(fold as u32),
+            examples: model.num_examples() as u64,
+        };
+        match ModelArtifact::from_model(&model, meta, None)
+            .and_then(|a| reg.save(&name, 1, &a))
+        {
+            Ok(path) => eprintln!("  fold {name}: saved to {}", path.display()),
+            Err(e) => eprintln!("  fold {name}: cannot save ({e})"),
+        }
+    }
+    model
 }
 
 /// Group-average summary of Table 4 rows.

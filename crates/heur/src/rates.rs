@@ -43,6 +43,19 @@ impl HeuristicRates {
         }
     }
 
+    /// Rebuild a rate table from persisted arrays (the inverse of
+    /// [`HeuristicRates::hit_array`] plus the public `coverage` field) — the
+    /// import half of model artifacts.
+    pub fn from_parts(hit: [f64; 9], coverage: [u64; 9]) -> Self {
+        HeuristicRates { hit, coverage }
+    }
+
+    /// All nine hit rates in `Heuristic::ordinal` order (export half of
+    /// model artifacts).
+    pub fn hit_array(&self) -> [f64; 9] {
+        self.hit
+    }
+
     /// The hit rate of one heuristic.
     pub fn hit_rate(&self, h: Heuristic) -> f64 {
         self.hit[h.ordinal()]

@@ -67,8 +67,9 @@ pub struct MlpConfig {
     pub patience: usize,
     /// RNG seed for weight initialisation.
     pub seed: u64,
-    /// Worker threads for restarts and gradient chunks; `0` means one per
-    /// available core. Has **no effect on the result** — only on wall-clock.
+    /// Worker threads for restarts and gradient chunks; `0` (the default,
+    /// matching `EspConfig.threads`) means one per available core. Has
+    /// **no effect on the result** — only on wall-clock.
     pub threads: usize,
 }
 
@@ -84,7 +85,7 @@ impl Default for MlpConfig {
             max_epochs: 300,
             patience: 25,
             seed: 0x5eed,
-            threads: 1,
+            threads: 0,
         }
     }
 }
@@ -150,6 +151,32 @@ impl Mlp {
         out.extend_from_slice(&self.v);
         out.push(self.a);
         out
+    }
+
+    /// Free parameters of an `(inputs, hidden)` topology — the length
+    /// [`Mlp::from_flat_weights`] expects.
+    pub fn param_count(inputs: usize, hidden: usize) -> usize {
+        inputs * hidden + hidden + (if hidden == 0 { inputs } else { hidden }) + 1
+    }
+
+    /// Rebuild a network from the topology plus the exact flattened
+    /// parameter vector produced by [`Mlp::flat_weights`]. The inverse of
+    /// that export: `from_flat_weights(m.num_inputs(), m.num_hidden(),
+    /// &m.flat_weights())` reproduces `m` bit for bit, so a persisted model
+    /// predicts bitwise-identically to the one that was trained.
+    ///
+    /// Returns `None` when `flat.len()` disagrees with the topology.
+    pub fn from_flat_weights(inputs: usize, hidden: usize, flat: &[f64]) -> Option<Self> {
+        if flat.len() != Self::param_count(inputs, hidden) {
+            return None;
+        }
+        let mut it = flat.iter().copied();
+        let mut take = |n: usize| -> Vec<f64> { it.by_ref().take(n).collect() };
+        let w: Vec<Vec<f64>> = (0..hidden).map(|_| take(inputs)).collect();
+        let b = take(hidden);
+        let v = take(if hidden == 0 { inputs } else { hidden });
+        let a = it.next().expect("length checked above");
+        Some(Mlp { w, b, v, a, inputs })
     }
 
     fn new_random(inputs: usize, hidden: usize, rng: &mut Pcg32) -> Self {
@@ -754,6 +781,21 @@ mod tests {
             let b1: Vec<u64> = m1.flat_weights().iter().map(|x| x.to_bits()).collect();
             let bt: Vec<u64> = mt.flat_weights().iter().map(|x| x.to_bits()).collect();
             assert_eq!(b1, bt, "threads={threads} weights diverged");
+        }
+    }
+
+    #[test]
+    fn flat_weights_round_trip_bitwise() {
+        for hidden in [0, 5] {
+            let mut rng = Pcg32::seed_from_u64(31);
+            let m = Mlp::new_random(4, hidden, &mut rng);
+            let flat = m.flat_weights();
+            assert_eq!(flat.len(), Mlp::param_count(4, hidden));
+            let back = Mlp::from_flat_weights(4, hidden, &flat).expect("valid length");
+            assert_eq!(back, m);
+            let x = [0.3, -1.2, 0.9, 0.05];
+            assert_eq!(back.predict(&x).to_bits(), m.predict(&x).to_bits());
+            assert!(Mlp::from_flat_weights(4, hidden, &flat[1..]).is_none());
         }
     }
 

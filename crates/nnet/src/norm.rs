@@ -52,6 +52,27 @@ impl Normalizer {
         Normalizer { mean, inv_std }
     }
 
+    /// Rebuild a normalizer from persisted statistics (the inverse of
+    /// [`Normalizer::mean`] / [`Normalizer::inv_std`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors disagree on length.
+    pub fn from_parts(mean: Vec<f64>, inv_std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), inv_std.len(), "mean/inv_std length mismatch");
+        Normalizer { mean, inv_std }
+    }
+
+    /// Per-feature means fitted on the training set.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature inverse standard deviations (`0` for constant features).
+    pub fn inv_std(&self) -> &[f64] {
+        &self.inv_std
+    }
+
     /// Number of features.
     pub fn dim(&self) -> usize {
         self.mean.len()

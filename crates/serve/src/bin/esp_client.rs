@@ -1,0 +1,214 @@
+//! `esp-client` — query, benchmark and administer an `esp-serve` instance,
+//! and manage a model registry.
+//!
+//! ```text
+//! esp-client info      --addr HOST:PORT
+//! esp-client stats     --addr HOST:PORT
+//! esp-client shutdown  --addr HOST:PORT
+//! esp-client bench     [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]
+//!                      [--requests N] [--batch N] [--keys N] [--seed S]
+//!                      [--out PATH] [--quick] [--threads N] [--cache N]
+//! esp-client registry  (list | inspect --name M [--model-version V] | gc --name M --keep K)
+//!                      --dir DIR
+//! ```
+//!
+//! `bench` without `--addr` spawns an in-process server on an ephemeral
+//! loopback port (from `--model`, or a synthetic artifact by default), runs
+//! the deterministic load generator against it, shuts it down, and writes
+//! the report to `--out` (default `BENCH_serve.json`). `--quick` shrinks the
+//! run for CI.
+
+use std::path::Path;
+
+use esp_artifact::{ModelArtifact, Registry};
+use esp_serve::loadgen::{self, LoadGenConfig};
+use esp_serve::{serve, Client, ServeConfig};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{what} takes a number, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn connect(args: &[String]) -> Client {
+    let addr = flag_value(args, "--addr")
+        .unwrap_or_else(|| fail("this subcommand needs --addr HOST:PORT".into()));
+    Client::connect(addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => {
+            let i = connect(&args).info().unwrap_or_else(|e| fail(e.to_string()));
+            println!(
+                "model `{}`: {} inputs, {} hidden units, artifact format v{}",
+                i.corpus_id, i.dim, i.hidden, i.format_version
+            );
+        }
+        Some("stats") => {
+            let s = connect(&args).stats().unwrap_or_else(|e| fail(e.to_string()));
+            println!("connections:      {}", s.connections);
+            println!("requests:         {}", s.requests);
+            println!("predict requests: {}", s.predict_requests);
+            println!("predictions:      {}", s.predictions);
+            println!("cache hits:       {}", s.cache_hits);
+            println!("cache misses:     {}", s.cache_misses);
+            println!("cache hit rate:   {:.4}", s.cache_hit_rate());
+            println!("latency p50/p99/max: {}/{}/{} us", s.p50_us, s.p99_us, s.max_us);
+        }
+        Some("shutdown") => {
+            connect(&args).shutdown().unwrap_or_else(|e| fail(e.to_string()));
+            println!("server acknowledged shutdown");
+        }
+        Some("bench") => bench(&args),
+        Some("registry") => registry(&args),
+        _ => {
+            eprintln!(
+                "usage: esp-client (info|stats|shutdown) --addr HOST:PORT\n\
+                 \x20      esp-client bench [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]\n\
+                 \x20                       [--requests N] [--batch N] [--keys N] [--seed S]\n\
+                 \x20                       [--out PATH] [--quick] [--threads N] [--cache N]\n\
+                 \x20      esp-client registry (list | inspect --name M [--model-version V] | gc --name M --keep K) --dir DIR"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn bench(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let defaults = LoadGenConfig::default();
+    let cfg = LoadGenConfig {
+        requests: flag_value(args, "--requests")
+            .map_or(if quick { 100 } else { defaults.requests }, |v| {
+                parse(v, "--requests")
+            }),
+        batch: flag_value(args, "--batch").map_or(defaults.batch, |v| parse(v, "--batch")),
+        keys: flag_value(args, "--keys").map_or(defaults.keys, |v| parse(v, "--keys")),
+        seed: flag_value(args, "--seed").map_or(defaults.seed, |v| parse(v, "--seed")),
+    };
+    let out = flag_value(args, "--out").unwrap_or("BENCH_serve.json");
+
+    // Either drive a remote server, or spawn one in-process for the run.
+    let (addr, handle, dim) = match flag_value(args, "--addr") {
+        Some(addr) => {
+            let dim = Client::connect(addr)
+                .and_then(|mut c| c.info())
+                .unwrap_or_else(|e| fail(format!("cannot query {addr}: {e}")))
+                .dim as usize;
+            (addr.to_string(), None, dim)
+        }
+        None => {
+            let artifact = match flag_value(args, "--model") {
+                Some(path) => ModelArtifact::load(Path::new(path))
+                    .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}"))),
+                None => {
+                    let spec = flag_value(args, "--synthetic").unwrap_or("30,10,42");
+                    let parts: Vec<&str> = spec.split(',').collect();
+                    if parts.len() != 3 {
+                        fail(format!("--synthetic takes DIM,HIDDEN,SEED, got {spec:?}"));
+                    }
+                    ModelArtifact::synthetic(
+                        parse(parts[0], "--synthetic DIM"),
+                        parse(parts[1], "--synthetic HIDDEN"),
+                        parse(parts[2], "--synthetic SEED"),
+                    )
+                }
+            };
+            let scfg = ServeConfig {
+                threads: flag_value(args, "--threads").map_or(0, |v| parse(v, "--threads")),
+                cache_capacity: flag_value(args, "--cache").map_or(4096, |v| parse(v, "--cache")),
+            };
+            let dim = artifact.dim();
+            let handle = serve(&artifact, "127.0.0.1:0", &scfg)
+                .unwrap_or_else(|e| fail(format!("cannot start in-process server: {e}")));
+            eprintln!("spawned in-process server on {}", handle.addr());
+            (handle.addr().to_string(), Some(handle), dim)
+        }
+    };
+
+    eprintln!(
+        "load: {} requests x {} rows over {} distinct keys (seed {})",
+        cfg.requests, cfg.batch, cfg.keys, cfg.seed
+    );
+    let report = loadgen::run(&addr, dim, &cfg).unwrap_or_else(|e| fail(format!("bench: {e}")));
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    loadgen::write_json(&report, Path::new(out))
+        .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+    eprintln!(
+        "{:.0} req/s, {:.0} rows/s; p50 {:.3} ms, p99 {:.3} ms; cache hit rate {:.3}",
+        report.throughput_rps,
+        report.predictions_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.cache_hit_rate
+    );
+    println!("wrote {out}");
+}
+
+fn registry(args: &[String]) {
+    let dir = flag_value(args, "--dir")
+        .unwrap_or_else(|| fail("registry subcommands need --dir DIR".into()));
+    let reg = Registry::open(dir);
+    match args.get(1).map(String::as_str) {
+        Some("list") => {
+            let entries = reg.list().unwrap_or_else(|e| fail(e.to_string()));
+            if entries.is_empty() {
+                println!("(empty registry)");
+            }
+            for e in entries {
+                let versions: Vec<String> = e.versions.iter().map(u32::to_string).collect();
+                println!("{}: v{}", e.name, versions.join(", v"));
+            }
+        }
+        Some("inspect") => {
+            let name = flag_value(args, "--name")
+                .unwrap_or_else(|| fail("inspect needs --name M".into()));
+            let version = flag_value(args, "--model-version").map(|v| parse(v, "--model-version"));
+            let i = reg
+                .inspect(name, version)
+                .unwrap_or_else(|e| fail(e.to_string()));
+            println!("{} v{} — {}", i.name, i.version, i.path.display());
+            println!("  corpus:   {}", i.meta.corpus_id);
+            println!("  seed:     {}", i.meta.seed);
+            match i.meta.fold {
+                Some(f) => println!("  fold:     {f}"),
+                None => println!("  fold:     (none)"),
+            }
+            println!("  examples: {}", i.meta.examples);
+            println!("  topology: {} inputs, {} hidden", i.dim, i.hidden);
+            println!("  rates:    {}", if i.has_rates { "present" } else { "absent" });
+            println!("  size:     {} bytes", i.file_len);
+        }
+        Some("gc") => {
+            let name =
+                flag_value(args, "--name").unwrap_or_else(|| fail("gc needs --name M".into()));
+            let keep: usize = flag_value(args, "--keep")
+                .map(|v| parse(v, "--keep"))
+                .unwrap_or_else(|| fail("gc needs --keep K".into()));
+            let removed = reg.gc(name, keep).unwrap_or_else(|e| fail(e.to_string()));
+            for p in &removed {
+                println!("removed {}", p.display());
+            }
+            println!("{} version(s) removed", removed.len());
+        }
+        _ => fail("registry subcommand must be list | inspect | gc".into()),
+    }
+}

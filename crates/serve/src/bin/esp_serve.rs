@@ -1,0 +1,104 @@
+//! `esp-serve` — serve a trained `.espm` model over TCP.
+//!
+//! ```text
+//! esp-serve --model PATH            [--addr HOST:PORT] [--threads N] [--cache N]
+//! esp-serve --registry DIR --name M [--model-version V] [--addr …] …
+//! esp-serve --synthetic DIM,HIDDEN,SEED [--addr …] …
+//! ```
+//!
+//! Exactly one model source is required. `--addr` defaults to
+//! `127.0.0.1:7871`; port `0` picks an ephemeral port (the bound address is
+//! printed either way). `--threads 0` (default) uses one worker per core for
+//! large batches; `--cache` is the LRU capacity in entries (`0` disables).
+//! The process runs until a client sends `SHUTDOWN` (see `esp-client`).
+
+use esp_artifact::{ModelArtifact, Registry};
+use esp_serve::{serve, ServeConfig};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{what} takes a number, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn load_artifact(args: &[String]) -> ModelArtifact {
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    match (
+        flag_value(args, "--model"),
+        flag_value(args, "--registry"),
+        flag_value(args, "--synthetic"),
+    ) {
+        (Some(path), None, None) => ModelArtifact::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}"))),
+        (None, Some(dir), None) => {
+            let name = flag_value(args, "--name")
+                .unwrap_or_else(|| fail("--registry needs --name".into()));
+            let version = flag_value(args, "--model-version").map(|v| parse(v, "--model-version"));
+            let (v, artifact) = Registry::open(dir)
+                .load(name, version)
+                .unwrap_or_else(|e| fail(format!("cannot load {name} from {dir}: {e}")));
+            eprintln!("loaded {name} v{v} from {dir}");
+            artifact
+        }
+        (None, None, Some(spec)) => {
+            let parts: Vec<&str> = spec.split(',').collect();
+            if parts.len() != 3 {
+                fail(format!("--synthetic takes DIM,HIDDEN,SEED, got {spec:?}"));
+            }
+            ModelArtifact::synthetic(
+                parse(parts[0], "--synthetic DIM"),
+                parse(parts[1], "--synthetic HIDDEN"),
+                parse(parts[2], "--synthetic SEED"),
+            )
+        }
+        _ => fail("pick exactly one of --model PATH | --registry DIR --name M | --synthetic DIM,HIDDEN,SEED".into()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: esp-serve (--model PATH | --registry DIR --name M [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
+             \x20                [--addr HOST:PORT] [--threads N] [--cache N]"
+        );
+        return;
+    }
+    let artifact = load_artifact(&args);
+    let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7871");
+    let cfg = ServeConfig {
+        threads: flag_value(&args, "--threads").map_or(0, |v| parse(v, "--threads")),
+        cache_capacity: flag_value(&args, "--cache").map_or(4096, |v| parse(v, "--cache")),
+    };
+
+    let handle = match serve(&artifact, addr, &cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "esp-serve listening on {} — model `{}` ({} inputs, {} hidden, format v{}); \
+         stop with `esp-client shutdown --addr {}`",
+        handle.addr(),
+        artifact.meta.corpus_id,
+        artifact.dim(),
+        artifact.mlp.num_hidden(),
+        esp_artifact::FORMAT_VERSION,
+        handle.addr(),
+    );
+    handle.join();
+    eprintln!("esp-serve: shut down cleanly");
+}

@@ -1,0 +1,154 @@
+//! In-memory LRU cache keyed on encoded feature vectors.
+//!
+//! ESP feature vectors are heavily repeated in practice — a compiler asking
+//! about every branch of a program hits the same few hundred static shapes
+//! over and over — so a small exact-match cache absorbs most of the
+//! network-forward cost. Keys are the *raw* row bits plus the mask (the
+//! exact wire payload), so two requests hit the same entry iff the model
+//! would compute the same probability.
+//!
+//! Implementation: a `HashMap` from key to `(value, recency stamp)` plus a
+//! `BTreeMap` from stamp to key, giving `O(log n)` touch and exact
+//! least-recently-used eviction with std-only containers.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Build the cache key for one request row: the raw IEEE-754 bits of every
+/// feature followed by the mask bytes.
+pub fn cache_key(row: &[f64], mask: &[bool]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(row.len() * 8 + mask.len());
+    for &x in row {
+        key.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    for &m in mask {
+        key.push(m as u8);
+    }
+    key
+}
+
+/// Exact LRU cache from feature-vector keys to taken-probabilities.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<Vec<u8>, (f64, u64)>,
+    recency: BTreeMap<u64, Vec<u8>>,
+    tick: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` entries; `0` disables caching.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a key, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<f64> {
+        let tick = self.next_tick();
+        let (value, stamp) = self.map.get_mut(key)?;
+        let old = std::mem::replace(stamp, tick);
+        let moved = self.recency.remove(&old).expect("stamp tracked");
+        self.recency.insert(tick, moved);
+        Some(*value)
+    }
+
+    /// Insert (or refresh) a key, evicting the least-recently-used entry
+    /// when full. A no-op when the cache is disabled.
+    pub fn insert(&mut self, key: Vec<u8>, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some((v, stamp)) = self.map.get_mut(&key) {
+            *v = value;
+            let old = std::mem::replace(stamp, tick);
+            let moved = self.recency.remove(&old).expect("stamp tracked");
+            self.recency.insert(tick, moved);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let (_, oldest) = self.recency.pop_first().expect("cache non-empty");
+            self.map.remove(&oldest);
+        }
+        self.map.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u8) -> Vec<u8> {
+        vec![i; 4]
+    }
+
+    #[test]
+    fn hit_miss_and_value_identity() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), 0.25);
+        assert_eq!(c.get(&key(1)), Some(0.25));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1), 0.1);
+        c.insert(key(2), 0.2);
+        assert_eq!(c.get(&key(1)), Some(0.1)); // touch 1 → 2 is now LRU
+        c.insert(key(3), 0.3);
+        assert!(c.get(&key(2)).is_none(), "2 should have been evicted");
+        assert_eq!(c.get(&key(1)), Some(0.1));
+        assert_eq!(c.get(&key(3)), Some(0.3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_growth() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1), 0.1);
+        c.insert(key(1), 0.9);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)), Some(0.9));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(key(1), 0.1);
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_mask_and_nan_bits() {
+        let a = cache_key(&[1.0, 2.0], &[true, true]);
+        let b = cache_key(&[1.0, 2.0], &[true, false]);
+        assert_ne!(a, b);
+        // distinct NaN payloads are distinct keys (bit-level identity)
+        let n1 = f64::from_bits(0x7FF8_0000_0000_0001);
+        let n2 = f64::from_bits(0x7FF8_0000_0000_0002);
+        assert_ne!(cache_key(&[n1], &[true]), cache_key(&[n2], &[true]));
+    }
+}

@@ -1,0 +1,74 @@
+//! Blocking TCP client for the serve protocol — the library behind the
+//! `esp-client` binary and the integration tests.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, PredictRow, Prediction, Request, Response, ServeError, ServerInfo,
+    StatsSnapshot,
+};
+
+/// One connection to an `esp-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
+        match Response::decode(&payload)? {
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Predict a batch of raw encoded rows; results come back in order.
+    pub fn predict(&mut self, rows: Vec<PredictRow>) -> Result<Vec<Prediction>, ServeError> {
+        match self.round_trip(&Request::Predict(rows))? {
+            Response::Predictions(ps) => Ok(ps),
+            other => Err(ServeError::Protocol(format!(
+                "expected predictions, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ServeError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Fetch model facts (dimensionality, provenance).
+    pub fn info(&mut self) -> Result<ServerInfo, ServeError> {
+        match self.round_trip(&Request::Info)? {
+            Response::Info(i) => Ok(i),
+            other => Err(ServeError::Protocol(format!("expected info, got {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `esp-serve` — a std-only prediction-serving subsystem for trained ESP
+//! models.
+//!
+//! The crate turns a saved [`esp_artifact::ModelArtifact`] into a network
+//! service: a threaded TCP server speaking a length-prefixed binary
+//! protocol, answering batched predict requests with the *exact* bits the
+//! in-process model would produce. Around that core sit:
+//!
+//! - [`protocol`] — the wire format: u32-length-prefixed frames carrying
+//!   `PREDICT` / `STATS` / `INFO` / `SHUTDOWN` requests and their typed
+//!   responses.
+//! - [`server`] — the acceptor + per-connection threads, batch fan-out over
+//!   the `esp-runtime` pool, and graceful shutdown.
+//! - [`cache`] — an exact-match LRU keyed on the raw feature bits, so
+//!   repeated branch shapes skip the network forward pass.
+//! - [`metrics`] — lock-free counters and a log-bucketed latency histogram
+//!   behind the `STATS` opcode.
+//! - [`client`] — the blocking client library used by the `esp-client`
+//!   binary and the integration tests.
+//! - [`loadgen`] — a deterministic load generator that writes
+//!   `BENCH_serve.json`.
+//!
+//! Bitwise identity is the design invariant: clients send *raw* encoded
+//! rows plus masks (what `esp_core::encode` produces), and the server
+//! applies the same normalize-and-forward path as
+//! `EspModel::predict_prob`, so a served probability equals the in-process
+//! one bit for bit. The integration tests assert exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{key_pool, LoadGenConfig, LoadGenReport};
+pub use metrics::Metrics;
+pub use protocol::{
+    PredictRow, Prediction, Request, Response, ServeError, ServerInfo, StatsSnapshot,
+};
+pub use server::{serve, ServeConfig, ServerHandle};

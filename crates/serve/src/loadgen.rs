@@ -1,0 +1,242 @@
+//! Deterministic load generator: drives a server with a seeded stream of
+//! predict batches drawn from a fixed key pool, measures exact client-side
+//! latency quantiles, and writes `BENCH_serve.json`.
+//!
+//! The *request sequence* is a pure function of the seed (PCG32 all the way
+//! down), so every run asks for the same rows in the same order; with one
+//! connection the server processes them in order too, making the reported
+//! cache hit rate reproducible. Timings, of course, vary with the machine —
+//! that is what the file is for.
+
+use std::path::Path;
+
+use esp_runtime::Pcg32;
+
+use crate::client::Client;
+use crate::protocol::{PredictRow, ServeError, StatsSnapshot};
+
+/// Load-generator knobs. Defaults produce a few seconds of traffic.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Predict requests (batches) to send.
+    pub requests: usize,
+    /// Rows per request.
+    pub batch: usize,
+    /// Distinct feature vectors in the pool; smaller pools mean higher
+    /// cache hit rates.
+    pub keys: usize,
+    /// RNG seed for the pool and the request sequence.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            requests: 500,
+            batch: 32,
+            keys: 256,
+            seed: 0xBE7C4,
+        }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Echo of the generator knobs.
+    pub cfg: LoadGenConfig,
+    /// Rows predicted in total.
+    pub predictions: u64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Predict requests per second.
+    pub throughput_rps: f64,
+    /// Rows per second.
+    pub predictions_per_sec: f64,
+    /// Exact client-side round-trip latency quantiles, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst round-trip latency, milliseconds.
+    pub max_ms: f64,
+    /// Server-side cache hit rate over the run's rows.
+    pub cache_hit_rate: f64,
+    /// Server counters at the end of the run.
+    pub server: StatsSnapshot,
+}
+
+fn exact_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64) * q).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1] as f64 / 1e3
+}
+
+/// Build the deterministic key pool: `keys` synthetic rows of width `dim`.
+/// Masks mostly keep features live, with a seeded sprinkling of gated
+/// positions so the mask path is exercised.
+pub fn key_pool(dim: usize, cfg: &LoadGenConfig) -> Vec<PredictRow> {
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    (0..cfg.keys)
+        .map(|_| {
+            let row: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mask: Vec<bool> = (0..dim).map(|_| !rng.gen_bool(0.1)).collect();
+            PredictRow { row, mask }
+        })
+        .collect()
+}
+
+/// Run the generator against a server. The pre-run server stats are
+/// subtracted out, so the reported cache hit rate covers exactly this run.
+pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport, ServeError> {
+    let pool = key_pool(dim, cfg);
+    let mut client = Client::connect(addr)?;
+    let before = client.stats()?;
+    let mut seq = Pcg32::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(cfg.requests);
+
+    let run_start = std::time::Instant::now();
+    for _ in 0..cfg.requests {
+        let batch: Vec<PredictRow> = (0..cfg.batch)
+            .map(|_| pool[seq.gen_range(0..pool.len())].clone())
+            .collect();
+        let sent = std::time::Instant::now();
+        let preds = client.predict(batch)?;
+        latencies_us.push(sent.elapsed().as_micros() as u64);
+        debug_assert_eq!(preds.len(), cfg.batch);
+    }
+    let elapsed = run_start.elapsed();
+
+    let after = client.stats()?;
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    let run_rows = hits + misses;
+
+    latencies_us.sort_unstable();
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadGenReport {
+        cfg: cfg.clone(),
+        predictions: (cfg.requests * cfg.batch) as u64,
+        elapsed_ms: elapsed_s * 1e3,
+        throughput_rps: cfg.requests as f64 / elapsed_s,
+        predictions_per_sec: (cfg.requests * cfg.batch) as f64 / elapsed_s,
+        p50_ms: exact_quantile_ms(&latencies_us, 0.50),
+        p99_ms: exact_quantile_ms(&latencies_us, 0.99),
+        max_ms: latencies_us.last().copied().unwrap_or(0) as f64 / 1e3,
+        cache_hit_rate: if run_rows == 0 {
+            0.0
+        } else {
+            hits as f64 / run_rows as f64
+        },
+        server: after,
+    })
+}
+
+/// Render the report as the `BENCH_serve.json` document.
+pub fn render_json(r: &LoadGenReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"requests\": {},\n", r.cfg.requests));
+    s.push_str(&format!("  \"batch\": {},\n", r.cfg.batch));
+    s.push_str(&format!("  \"keys\": {},\n", r.cfg.keys));
+    s.push_str(&format!("  \"seed\": {},\n", r.cfg.seed));
+    s.push_str(&format!("  \"predictions\": {},\n", r.predictions));
+    s.push_str(&format!("  \"elapsed_ms\": {:.3},\n", r.elapsed_ms));
+    s.push_str(&format!("  \"throughput_rps\": {:.3},\n", r.throughput_rps));
+    s.push_str(&format!(
+        "  \"predictions_per_sec\": {:.3},\n",
+        r.predictions_per_sec
+    ));
+    s.push_str(&format!("  \"p50_ms\": {:.3},\n", r.p50_ms));
+    s.push_str(&format!("  \"p99_ms\": {:.3},\n", r.p99_ms));
+    s.push_str(&format!("  \"max_ms\": {:.3},\n", r.max_ms));
+    s.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", r.cache_hit_rate));
+    s.push_str("  \"server\": {\n");
+    s.push_str(&format!(
+        "    \"connections\": {},\n",
+        r.server.connections
+    ));
+    s.push_str(&format!("    \"requests\": {},\n", r.server.requests));
+    s.push_str(&format!(
+        "    \"predictions\": {},\n",
+        r.server.predictions
+    ));
+    s.push_str(&format!("    \"cache_hits\": {},\n", r.server.cache_hits));
+    s.push_str(&format!(
+        "    \"cache_misses\": {},\n",
+        r.server.cache_misses
+    ));
+    s.push_str(&format!("    \"p50_us\": {},\n", r.server.p50_us));
+    s.push_str(&format!("    \"p99_us\": {}\n", r.server.p99_us));
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Write the report to `path` as JSON.
+pub fn write_json(r: &LoadGenReport, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, render_json(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_pool_is_deterministic_and_shaped() {
+        let cfg = LoadGenConfig {
+            keys: 10,
+            seed: 7,
+            ..LoadGenConfig::default()
+        };
+        let a = key_pool(5, &cfg);
+        let b = key_pool(5, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|r| r.row.len() == 5 && r.mask.len() == 5));
+        // pools from different seeds differ
+        let c = key_pool(
+            5,
+            &LoadGenConfig {
+                keys: 10,
+                seed: 8,
+                ..LoadGenConfig::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_quantiles() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((exact_quantile_ms(&us, 0.50) - 50.0).abs() < 1e-9);
+        assert!((exact_quantile_ms(&us, 0.99) - 99.0).abs() < 1e-9);
+        assert_eq!(exact_quantile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn json_has_the_required_keys() {
+        let r = LoadGenReport {
+            cfg: LoadGenConfig::default(),
+            predictions: 16000,
+            elapsed_ms: 1200.0,
+            throughput_rps: 416.7,
+            predictions_per_sec: 13333.3,
+            p50_ms: 1.2,
+            p99_ms: 4.5,
+            max_ms: 9.0,
+            cache_hit_rate: 0.82,
+            server: StatsSnapshot::default(),
+        };
+        let json = render_json(&r);
+        for key in [
+            "\"requests\"",
+            "\"throughput_rps\"",
+            "\"predictions_per_sec\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
+            "\"cache_hit_rate\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Lock-free server metrics: monotonic counters plus a log-bucketed latency
+//! histogram, all plain atomics so the hot predict path never takes a lock
+//! to account for itself.
+//!
+//! Latencies land in bucket `bit_length(us)` (so bucket `i` spans
+//! `[2^(i-1), 2^i)` microseconds); p50/p99 are read back as the upper bound
+//! of the first bucket whose cumulative count crosses the quantile — an
+//! approximation that is always within 2× of the true value, which is
+//! plenty for a `STATS` counter (the load generator computes exact
+//! client-side quantiles separately).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::protocol::StatsSnapshot;
+
+const BUCKETS: usize = 64;
+
+/// Shared server metrics; every field is independently atomic.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Frames handled (all opcodes).
+    pub requests: AtomicU64,
+    /// PREDICT batches handled.
+    pub predict_requests: AtomicU64,
+    /// Rows predicted.
+    pub predictions: AtomicU64,
+    /// Rows served from cache.
+    pub cache_hits: AtomicU64,
+    /// Rows computed by the network.
+    pub cache_misses: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+    max_us: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            predictions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record one PREDICT handling latency in microseconds.
+    pub fn record_latency(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros()) as usize; // bit length; 0 → 0
+        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn quantile_us(counts: &[u64; BUCKETS], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // upper bound of bucket i = 2^i − 1 (bucket 0 is exactly 0)
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// A consistent-enough snapshot of every counter (individual loads are
+    /// atomic; the set is not, which is fine for monitoring).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.latency_buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            predict_requests: self.predict_requests.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50_us: Self::quantile_us(&counts, 0.50),
+            p99_us: Self::quantile_us(&counts, 0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_snapshot_is_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot();
+        assert_eq!(s, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn latency_quantiles_bracket_the_data() {
+        let m = Metrics::new();
+        for us in [10u64, 12, 14, 900, 1000] {
+            m.record_latency(us);
+        }
+        let s = m.snapshot();
+        // p50 falls in the bucket holding 10–14 µs → upper bound 15
+        assert_eq!(s.p50_us, 15);
+        // p99 falls in the bucket holding 900/1000 µs → upper bound 1023
+        assert_eq!(s.p99_us, 1023);
+        assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let m = Metrics::new();
+        m.record_latency(0);
+        assert_eq!(m.snapshot().p50_us, 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! The wire protocol spoken between `esp-serve` and `esp-client`.
+//!
+//! Every message is one **frame**: a `u32` little-endian payload length
+//! followed by that many payload bytes, capped at [`MAX_FRAME`]. The payload
+//! reuses the artifact crate's little-endian primitives; floats travel as
+//! raw IEEE-754 bits, so a probability arrives at the client bit-identical
+//! to the server's computation.
+//!
+//! Requests start with a one-byte opcode:
+//!
+//! ```text
+//! 1 PREDICT   u32 n, u32 dim, then n × (dim f64 raw row, dim u8 mask)
+//! 2 STATS     (empty body)
+//! 3 INFO      (empty body)
+//! 4 SHUTDOWN  (empty body)
+//! ```
+//!
+//! Responses start with a one-byte status (`0` ok, `1` error). An error
+//! carries a UTF-8 message; an ok body depends on the request:
+//! PREDICT → `u32 n` then `n × (f64 prob, u8 taken)`; STATS → the nine
+//! [`StatsSnapshot`] counters as `u64`s; INFO → model facts; SHUTDOWN → an
+//! empty acknowledgement.
+
+use std::io::{Read, Write};
+
+use esp_artifact::bytes::{ByteReader, ByteWriter};
+use esp_artifact::ArtifactError;
+
+/// Hard cap on a single frame (requests this large are refused, not
+/// buffered): 64 MiB.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as the protocol.
+    Protocol(String),
+    /// The server answered with an error response.
+    Remote(String),
+    /// A frame declared a length beyond [`MAX_FRAME`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+            ServeError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ServeError::FrameTooLarge(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(ServeError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+const OP_PREDICT: u8 = 1;
+const OP_STATS: u8 = 2;
+const OP_INFO: u8 = 3;
+const OP_SHUTDOWN: u8 = 4;
+
+/// One batch row: the raw encoded feature values and their
+/// meaningful-position mask (the pair `esp_core::encode` produces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRow {
+    /// Raw (un-normalized) encoded feature values.
+    pub row: Vec<f64>,
+    /// Meaningful-position mask; masked-out features are gated to zero
+    /// after normalization, exactly as in-process inference does.
+    pub mask: Vec<bool>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict a batch of feature rows.
+    Predict(Vec<PredictRow>),
+    /// Fetch the server's metrics counters.
+    Stats,
+    /// Fetch model facts (dimensionality, provenance).
+    Info,
+    /// Ask the server to stop accepting work and exit.
+    Shutdown,
+}
+
+/// One prediction: the taken-probability and the thresholded direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Estimated probability the branch is taken, in `[0, 1]`.
+    pub prob: f64,
+    /// Hard decision at the paper's 0.5 threshold.
+    pub taken: bool,
+}
+
+/// Server metrics counters, as served by a STATS request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Frames handled (all opcodes).
+    pub requests: u64,
+    /// PREDICT requests (batches) handled.
+    pub predict_requests: u64,
+    /// Individual rows predicted.
+    pub predictions: u64,
+    /// Rows answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Rows computed by the network.
+    pub cache_misses: u64,
+    /// Approximate median PREDICT handling latency, microseconds.
+    pub p50_us: u64,
+    /// Approximate 99th-percentile PREDICT handling latency, microseconds.
+    pub p99_us: u64,
+    /// Worst PREDICT handling latency, microseconds.
+    pub max_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hits over all predicted rows (0 when nothing was predicted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Model facts served by an INFO request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Input dimensionality the server expects per row.
+    pub dim: u32,
+    /// Hidden-layer width of the served network.
+    pub hidden: u32,
+    /// Artifact format version the model was loaded from.
+    pub format_version: u32,
+    /// Corpus the model was trained on.
+    pub corpus_id: String,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Batch predictions, one per request row, in request order.
+    Predictions(Vec<Prediction>),
+    /// Metrics counters.
+    Stats(StatsSnapshot),
+    /// Model facts.
+    Info(ServerInfo),
+    /// Shutdown acknowledged; the server exits after this reply.
+    ShuttingDown,
+    /// The request could not be served.
+    Error(String),
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Predict(rows) => {
+                w.u8(OP_PREDICT);
+                w.u32(rows.len() as u32);
+                let dim = rows.first().map_or(0, |r| r.row.len());
+                w.u32(dim as u32);
+                for r in rows {
+                    for &x in &r.row {
+                        w.f64(x);
+                    }
+                    for &m in &r.mask {
+                        w.u8(m as u8);
+                    }
+                }
+            }
+            Request::Stats => w.u8(OP_STATS),
+            Request::Info => w.u8(OP_INFO),
+            Request::Shutdown => w.u8(OP_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut r = ByteReader::new(payload);
+        let op = r.u8()?;
+        let req = match op {
+            OP_PREDICT => {
+                let n = r.u32()? as usize;
+                let dim = r.u32()? as usize;
+                if n.checked_mul(dim * 9).is_none_or(|need| need > r.remaining()) {
+                    return Err(ServeError::Protocol(format!(
+                        "predict batch claims {n} rows × {dim} features beyond the frame"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut row = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        row.push(r.f64()?);
+                    }
+                    let mut mask = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        mask.push(r.u8()? != 0);
+                    }
+                    rows.push(PredictRow { row, mask });
+                }
+                Request::Predict(rows)
+            }
+            OP_STATS => Request::Stats,
+            OP_INFO => Request::Info,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ServeError::Protocol(format!("unknown opcode {other}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+const ST_OK: u8 = 0;
+const ST_ERR: u8 = 1;
+const RESP_PREDICTIONS: u8 = 1;
+const RESP_STATS: u8 = 2;
+const RESP_INFO: u8 = 3;
+const RESP_SHUTDOWN: u8 = 4;
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Error(msg) => {
+                w.u8(ST_ERR);
+                w.str(msg);
+            }
+            Response::Predictions(ps) => {
+                w.u8(ST_OK);
+                w.u8(RESP_PREDICTIONS);
+                w.u32(ps.len() as u32);
+                for p in ps {
+                    w.f64(p.prob);
+                    w.u8(p.taken as u8);
+                }
+            }
+            Response::Stats(s) => {
+                w.u8(ST_OK);
+                w.u8(RESP_STATS);
+                for v in [
+                    s.connections,
+                    s.requests,
+                    s.predict_requests,
+                    s.predictions,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.p50_us,
+                    s.p99_us,
+                    s.max_us,
+                ] {
+                    w.u64(v);
+                }
+            }
+            Response::Info(i) => {
+                w.u8(ST_OK);
+                w.u8(RESP_INFO);
+                w.u32(i.dim);
+                w.u32(i.hidden);
+                w.u32(i.format_version);
+                w.str(&i.corpus_id);
+            }
+            Response::ShuttingDown => {
+                w.u8(ST_OK);
+                w.u8(RESP_SHUTDOWN);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut r = ByteReader::new(payload);
+        let status = r.u8()?;
+        if status == ST_ERR {
+            let msg = r.str()?;
+            r.finish()?;
+            return Ok(Response::Error(msg));
+        }
+        let kind = r.u8()?;
+        let resp = match kind {
+            RESP_PREDICTIONS => {
+                let n = r.u32()? as usize;
+                if n.checked_mul(9).is_none_or(|need| need > r.remaining()) {
+                    return Err(ServeError::Protocol(format!(
+                        "prediction count {n} beyond the frame"
+                    )));
+                }
+                let mut ps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let prob = r.f64()?;
+                    let taken = r.u8()? != 0;
+                    ps.push(Prediction { prob, taken });
+                }
+                Response::Predictions(ps)
+            }
+            RESP_STATS => Response::Stats(StatsSnapshot {
+                connections: r.u64()?,
+                requests: r.u64()?,
+                predict_requests: r.u64()?,
+                predictions: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+                p50_us: r.u64()?,
+                p99_us: r.u64()?,
+                max_us: r.u64()?,
+            }),
+            RESP_INFO => Response::Info(ServerInfo {
+                dim: r.u32()?,
+                hidden: r.u32()?,
+                format_version: r.u32()?,
+                corpus_id: r.str()?,
+            }),
+            RESP_SHUTDOWN => Response::ShuttingDown,
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown response kind {other}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Predict(vec![
+                PredictRow {
+                    row: vec![1.0, -2.5, 0.0],
+                    mask: vec![true, false, true],
+                },
+                PredictRow {
+                    row: vec![0.5, 0.25, -0.0],
+                    mask: vec![true, true, true],
+                },
+            ]),
+            Request::Stats,
+            Request::Info,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Predictions(vec![Prediction {
+                prob: 0.75,
+                taken: true,
+            }]),
+            Response::Stats(StatsSnapshot {
+                connections: 1,
+                requests: 9,
+                predict_requests: 5,
+                predictions: 40,
+                cache_hits: 30,
+                cache_misses: 10,
+                p50_us: 120,
+                p99_us: 900,
+                max_us: 1500,
+            }),
+            Response::Info(ServerInfo {
+                dim: 155,
+                hidden: 10,
+                format_version: 1,
+                corpus_id: "cc-osf1-v1.2".into(),
+            }),
+            Response::ShuttingDown,
+            Response::Error("no such model".into()),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = Request::Stats.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn hostile_lengths_are_typed_errors() {
+        // declared frame length beyond the cap
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(ServeError::FrameTooLarge(_))
+        ));
+        // predict batch claiming more rows than the frame holds
+        let mut w = ByteWriter::new();
+        w.u8(OP_PREDICT);
+        w.u32(u32::MAX);
+        w.u32(1000);
+        assert!(matches!(
+            Request::decode(&w.into_bytes()),
+            Err(ServeError::Protocol(_))
+        ));
+        // garbage opcode
+        assert!(matches!(
+            Request::decode(&[99]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn stats_cache_hit_rate() {
+        let mut s = StatsSnapshot::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

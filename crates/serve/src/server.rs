@@ -1,0 +1,275 @@
+//! The threaded TCP prediction server.
+//!
+//! One acceptor thread plus one thread per connection, all on the
+//! `esp-runtime` discipline: deterministic results (the model is immutable;
+//! the cache only memoises bit-identical values), parallelism only affects
+//! wall-clock. Large predict batches fan their cache misses out over the
+//! runtime's worker pool.
+//!
+//! Shutdown is graceful: a `SHUTDOWN` frame (or [`ServerHandle::shutdown`])
+//! raises a flag, wakes the acceptor with a loopback connection, and every
+//! connection thread drains its current request before exiting; the acceptor
+//! joins them all.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use esp_artifact::{ModelArtifact, FORMAT_VERSION};
+use esp_core::EspModel;
+use esp_runtime::parallel_map;
+
+use crate::cache::{cache_key, LruCache};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_frame, write_frame, Prediction, Request, Response, ServeError, ServerInfo,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for computing large batches; `0` = one per core.
+    pub threads: usize,
+    /// LRU cache capacity in entries; `0` disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Cache misses below this count are computed inline; at or above it they
+/// fan out over the worker pool.
+const PARALLEL_BATCH_MIN: usize = 16;
+
+struct Shared {
+    model: EspModel,
+    info: ServerInfo,
+    addr: SocketAddr,
+    cache: Mutex<LruCache>,
+    metrics: Metrics,
+    threads: usize,
+    stop: AtomicBool,
+}
+
+/// A running prediction server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Start serving `artifact` on `addr` (use port `0` for an ephemeral port;
+/// the bound address is available via [`ServerHandle::addr`]).
+pub fn serve(
+    artifact: &ModelArtifact,
+    addr: &str,
+    cfg: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        info: ServerInfo {
+            dim: artifact.dim() as u32,
+            hidden: artifact.mlp.num_hidden() as u32,
+            format_version: FORMAT_VERSION,
+            corpus_id: artifact.meta.corpus_id.clone(),
+        },
+        model: artifact.to_model(),
+        addr,
+        cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+        metrics: Metrics::new(),
+        threads: cfg.threads,
+        stop: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || {
+        let mut workers = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            accept_shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let conn_shared = Arc::clone(&accept_shared);
+            workers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl ServerHandle {
+    /// The address the server is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's metrics, read in-process.
+    pub fn metrics(&self) -> crate::protocol::StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Block until the server exits (i.e. until some client sends
+    /// `SHUTDOWN` or [`ServerHandle::shutdown`] is called elsewhere).
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+
+    /// Stop accepting work, drain connections, and wait for every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = a.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+    // A finite read timeout lets idle connections notice the stop flag.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // client hung up cleanly
+            Err(ServeError::Io(e))
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                continue; // idle; re-check the stop flag
+            }
+            Err(e) => return Err(e),
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::decode(&payload) {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(Request::Info) => Response::Info(shared.info.clone()),
+            Ok(Request::Stats) => Response::Stats(shared.metrics.snapshot()),
+            Ok(Request::Shutdown) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let reply = Response::ShuttingDown;
+                write_frame(&mut writer, &reply.encode())?;
+                // Wake the blocking acceptor so it observes the flag,
+                // drains the other connections, and exits.
+                let _ = TcpStream::connect(shared.addr);
+                return Ok(());
+            }
+            Ok(Request::Predict(rows)) => handle_predict(shared, rows),
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+}
+
+fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Response {
+    let start = Instant::now();
+    let dim = shared.info.dim as usize;
+    for (i, r) in rows.iter().enumerate() {
+        if r.row.len() != dim || r.mask.len() != dim {
+            return Response::Error(format!(
+                "row {i}: got {} values / {} mask bits, model expects {dim}",
+                r.row.len(),
+                r.mask.len()
+            ));
+        }
+    }
+
+    // Pass 1: resolve cache hits under the lock, remember misses.
+    let mut probs: Vec<Option<f64>> = vec![None; rows.len()];
+    let mut miss_idx: Vec<usize> = Vec::new();
+    let mut keys: Vec<Option<Vec<u8>>> = vec![None; rows.len()];
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for (i, r) in rows.iter().enumerate() {
+            let key = cache_key(&r.row, &r.mask);
+            match cache.get(&key) {
+                Some(p) => probs[i] = Some(p),
+                None => {
+                    miss_idx.push(i);
+                    keys[i] = Some(key);
+                }
+            }
+        }
+    }
+    let hits = rows.len() - miss_idx.len();
+
+    // Pass 2: compute the misses — in parallel when the batch is worth it.
+    let computed: Vec<f64> = if miss_idx.len() >= PARALLEL_BATCH_MIN && shared.threads != 1 {
+        parallel_map(shared.threads, &miss_idx, |&i| {
+            shared.model.predict_prob_encoded(&rows[i].row, &rows[i].mask)
+        })
+    } else {
+        miss_idx
+            .iter()
+            .map(|&i| shared.model.predict_prob_encoded(&rows[i].row, &rows[i].mask))
+            .collect()
+    };
+
+    // Pass 3: fill results and publish the fresh entries.
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for (&i, &p) in miss_idx.iter().zip(&computed) {
+            probs[i] = Some(p);
+            cache.insert(keys[i].take().expect("key saved for miss"), p);
+        }
+    }
+
+    let predictions: Vec<Prediction> = probs
+        .into_iter()
+        .map(|p| {
+            let prob = p.expect("every row resolved");
+            Prediction {
+                prob,
+                taken: prob > 0.5,
+            }
+        })
+        .collect();
+
+    let m = &shared.metrics;
+    m.predict_requests.fetch_add(1, Ordering::Relaxed);
+    m.predictions.fetch_add(rows.len() as u64, Ordering::Relaxed);
+    m.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
+    m.cache_misses
+        .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+    m.record_latency(start.elapsed().as_micros() as u64);
+
+    Response::Predictions(predictions)
+}

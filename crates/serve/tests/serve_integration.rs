@@ -1,0 +1,145 @@
+//! End-to-end test of the serving subsystem: train a real (small) ESP model,
+//! publish it to a registry, serve it on an ephemeral port, drive it with
+//! `Client`, and check that every probability that comes back over TCP is
+//! bitwise identical to in-process inference — plus cache accounting and
+//! graceful shutdown.
+
+use esp_artifact::{ModelArtifact, ModelMeta, Registry};
+use esp_core::{encode, EspConfig, EspModel, Learner, TrainingProgram};
+use esp_eval::SuiteData;
+use esp_nnet::MlpConfig;
+use esp_serve::{serve, Client, PredictRow, ServeConfig};
+
+#[test]
+fn served_predictions_match_in_process_bitwise() {
+    // Train a quick real model on two corpus programs.
+    let suite = SuiteData::build_subset(&["sort", "grep"], &esp_lang::CompilerConfig::default());
+    let group: Vec<TrainingProgram<'_>> = suite
+        .benches
+        .iter()
+        .map(|b| TrainingProgram {
+            prog: &b.prog,
+            analysis: &b.analysis,
+            profile: &b.profile,
+        })
+        .collect();
+    let cfg = EspConfig {
+        learner: Learner::Net(MlpConfig {
+            hidden: 4,
+            max_epochs: 25,
+            patience: 6,
+            restarts: 1,
+            ..MlpConfig::default()
+        }),
+        threads: 1,
+        ..EspConfig::default()
+    };
+    let model = EspModel::train(&group, &cfg);
+
+    // Publish to a registry and reload — the server sees only the artifact.
+    let root = std::env::temp_dir().join(format!("esp-serve-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let reg = Registry::open(&root);
+    let artifact = ModelArtifact::from_model(
+        &model,
+        ModelMeta {
+            corpus_id: "serve-integration".into(),
+            seed: MlpConfig::default().seed,
+            fold: None,
+            examples: model.num_examples() as u64,
+        },
+        None,
+    )
+    .expect("network model");
+    reg.publish("it-model", &artifact).expect("publish");
+    let (_, served_artifact) = reg.load("it-model", None).expect("reload");
+
+    // Serve on an ephemeral loopback port.
+    let handle = serve(&served_artifact, "127.0.0.1:0", &ServeConfig::default())
+        .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let info = client.info().expect("info");
+    assert_eq!(info.dim as usize, artifact.dim());
+    assert_eq!(info.corpus_id, "serve-integration");
+
+    // Every branch site of every program: raw encoded rows over the wire
+    // must come back with the exact bits in-process inference produces.
+    let set = *model.encoder().feature_set();
+    let mut expected: Vec<f64> = Vec::new();
+    let mut rows: Vec<PredictRow> = Vec::new();
+    for b in &suite.benches {
+        for site in b.prog.branch_sites() {
+            let f = esp_core::extract(&b.prog, &b.analysis, site);
+            let (row, mask) = encode(&f, &set);
+            rows.push(PredictRow { row, mask });
+            expected.push(model.predict_prob(&b.prog, &b.analysis, site));
+        }
+    }
+    assert!(rows.len() > 50, "want a meaty batch, got {}", rows.len());
+
+    let preds = client.predict(rows.clone()).expect("predict batch");
+    assert_eq!(preds.len(), expected.len());
+    for (i, (p, e)) in preds.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            p.prob.to_bits(),
+            e.to_bits(),
+            "row {i}: served {} != in-process {e}",
+            p.prob
+        );
+        assert_eq!(p.taken, *e > 0.5, "row {i}: direction disagrees");
+    }
+
+    // Re-sending the same batch must be answered from the cache, and the
+    // hit counter must advance by exactly the batch size.
+    let stats_before = client.stats().expect("stats");
+    let again = client.predict(rows.clone()).expect("cached batch");
+    for (p, e) in again.iter().zip(&expected) {
+        assert_eq!(p.prob.to_bits(), e.to_bits(), "cache must not change bits");
+    }
+    let stats_after = client.stats().expect("stats");
+    assert_eq!(
+        stats_after.cache_hits - stats_before.cache_hits,
+        rows.len() as u64,
+        "second pass should be all cache hits"
+    );
+    assert!(stats_after.cache_hit_rate() > 0.0);
+    assert_eq!(stats_after.predictions, 2 * rows.len() as u64);
+
+    // Graceful shutdown: acknowledged over the wire, then the whole server
+    // (acceptor + connection threads) joins.
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dimension_mismatch_is_a_remote_error_not_a_crash() {
+    let artifact = ModelArtifact::synthetic(9, 3, 21);
+    let handle =
+        serve(&artifact, "127.0.0.1:0", &ServeConfig::default()).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+
+    let bad = PredictRow {
+        row: vec![0.0; 4],
+        mask: vec![true; 4],
+    };
+    let err = client.predict(vec![bad]).expect_err("dim mismatch");
+    assert!(
+        matches!(err, esp_serve::ServeError::Remote(_)),
+        "expected a remote error, got {err:?}"
+    );
+
+    // The connection survives the error and keeps serving.
+    let good = PredictRow {
+        row: vec![0.25; 9],
+        mask: vec![true; 9],
+    };
+    let preds = client.predict(vec![good.clone()]).expect("still serving");
+    let local = artifact
+        .to_model()
+        .predict_prob_encoded(&good.row, &good.mask);
+    assert_eq!(preds[0].prob.to_bits(), local.to_bits());
+    handle.shutdown();
+}

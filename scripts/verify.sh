@@ -3,7 +3,7 @@
 # --offline so a regression that reintroduces a registry dependency fails
 # here rather than on the first airgapped machine.
 #
-#   scripts/verify.sh          # build + test + bench smoke
+#   scripts/verify.sh          # build + test + bench smokes
 #   scripts/verify.sh --fast   # build + test only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,17 +11,30 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
 
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
+
+echo "==> serve integration test (train -> save -> serve -> bitwise compare)"
+cargo test -q --release --offline -p esp-serve --test serve_integration
+cargo test -q --release --offline -p esp-artifact --test roundtrip
 
 if [[ "$fast" -eq 0 ]]; then
     echo "==> bench smoke (quick pipeline bench, writes BENCH_pipeline.json)"
     cargo run --release --offline -q -p esp-bench --bin bench_pipeline -- --quick
     echo "==> BENCH_pipeline.json:"
     cat BENCH_pipeline.json
+
+    echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
+    cargo run --release --offline -q -p esp-serve --bin esp-client -- bench --quick
+    echo "==> BENCH_serve.json:"
+    cat BENCH_serve.json
+    for key in throughput_rps predictions_per_sec p50_ms p99_ms cache_hit_rate; do
+        grep -q "\"$key\"" BENCH_serve.json \
+            || { echo "BENCH_serve.json is missing \"$key\"" >&2; exit 1; }
+    done
 fi
 
 echo "==> verify OK"

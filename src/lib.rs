@@ -11,7 +11,10 @@
 //! * [`nnet`] — neural network and decision tree learners ([`esp_nnet`])
 //! * [`esp`] — the paper's contribution: feature extraction + ESP ([`esp_core`])
 //! * [`eval`] — evaluation harness and table renderers ([`esp_eval`])
+//! * [`artifact`] — versioned `.espm` model files + registry ([`esp_artifact`])
+//! * [`serve`] — TCP prediction server, client, load generator ([`esp_serve`])
 
+pub use esp_artifact as artifact;
 pub use esp_core as esp;
 pub use esp_corpus as corpus;
 pub use esp_eval as eval;
@@ -20,3 +23,4 @@ pub use esp_heur as heur;
 pub use esp_ir as ir;
 pub use esp_lang as lang;
 pub use esp_nnet as nnet;
+pub use esp_serve as serve;

@@ -26,6 +26,7 @@ fn quick_table4() -> Table4Config {
             }),
             ..EspConfig::default()
         },
+        model_cache: None,
     }
 }
 

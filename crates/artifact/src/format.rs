@@ -3,12 +3,12 @@
 //! feature-encoding configuration, normalization statistics, Ball–Larus
 //! heuristic rate tables, and training provenance.
 //!
-//! # Layout (format version 1)
+//! # Layout (format version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"ESPM"
-//! 4       4     format version, u32 LE        (this file: 1)
+//! 4       4     format version, u32 LE        (this file: 2)
 //! 8       8     payload length, u64 LE
 //! 16      4     CRC32(payload), u32 LE        (IEEE polynomial)
 //! 20      …     payload
@@ -21,6 +21,7 @@
 //! u64   seed                 learner RNG seed
 //! u32   fold                 cross-validation fold, u32::MAX = none
 //! u64   examples             training examples the model saw
+//! str   train_config         producer's training-configuration stamp
 //! u8×3  feature set          opcode / context / successor group switches
 //! f64[] mean                 per-feature normalization means
 //! f64[] inv_std              per-feature inverse standard deviations
@@ -32,8 +33,10 @@
 //! ```
 //!
 //! **Version policy:** any change to this layout — field added, removed,
-//! reordered, or re-typed — bumps [`FORMAT_VERSION`]. Readers reject newer
-//! versions with [`ArtifactError::UnsupportedVersion`] instead of guessing.
+//! reordered, or re-typed — bumps [`FORMAT_VERSION`]. Readers reject any
+//! other version with [`ArtifactError::UnsupportedVersion`] instead of
+//! guessing (there are no migration shims: a stale cached model is simply
+//! retrained). Version history: v1 lacked `train_config`.
 
 use std::path::Path;
 
@@ -49,7 +52,7 @@ use crate::error::ArtifactError;
 pub const MAGIC: [u8; 4] = *b"ESPM";
 
 /// Current artifact format version. Bump on **any** layout change.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed header size preceding the payload.
 pub const HEADER_LEN: usize = 20;
@@ -67,6 +70,11 @@ pub struct ModelMeta {
     pub fold: Option<u32>,
     /// Number of training examples the model saw.
     pub examples: u64,
+    /// Free-form training-configuration stamp written by the producer
+    /// (learner hyper-parameters, feature groups, …). Consumers that cache
+    /// models compare it against the current run's stamp to detect
+    /// configuration drift instead of silently reusing a stale model.
+    pub train_config: String,
 }
 
 /// A complete, self-contained trained predictor: everything `esp-serve`
@@ -88,15 +96,15 @@ pub struct ModelArtifact {
 impl ModelArtifact {
     /// Package a trained [`EspModel`] for persistence.
     ///
-    /// Returns [`ArtifactError::Malformed`] for tree-backed models — format
-    /// version 1 only carries networks.
+    /// Returns [`ArtifactError::Malformed`] for tree-backed models — the
+    /// format only carries networks.
     pub fn from_model(
         model: &EspModel,
         meta: ModelMeta,
         rates: Option<HeuristicRates>,
     ) -> Result<Self, ArtifactError> {
         let mlp = model.mlp().ok_or_else(|| {
-            ArtifactError::Malformed("format v1 persists network models only, not trees".into())
+            ArtifactError::Malformed("the format persists network models only, not trees".into())
         })?;
         Ok(ModelArtifact {
             meta,
@@ -138,6 +146,7 @@ impl ModelArtifact {
                 seed,
                 fold: None,
                 examples: 0,
+                train_config: format!("synthetic dim={dim} hidden={hidden}"),
             },
             encoder: FittedEncoder::from_parts(
                 Normalizer::from_parts(mean, inv_std),
@@ -156,6 +165,7 @@ impl ModelArtifact {
         p.u64(self.meta.seed);
         p.u32(self.meta.fold.unwrap_or(NO_FOLD));
         p.u64(self.meta.examples);
+        p.str(&self.meta.train_config);
         let set = self.encoder.feature_set();
         p.u8(set.opcode_features as u8);
         p.u8(set.context_features as u8);
@@ -236,6 +246,7 @@ impl ModelArtifact {
             f => Some(f),
         };
         let examples = r.u64()?;
+        let train_config = r.str()?;
         let set = FeatureSet {
             opcode_features: r.u8()? != 0,
             context_features: r.u8()? != 0,
@@ -292,6 +303,7 @@ impl ModelArtifact {
                 seed,
                 fold,
                 examples,
+                train_config,
             },
             encoder: FittedEncoder::from_parts(Normalizer::from_parts(mean, inv_std), set),
             mlp,

@@ -120,11 +120,39 @@ impl Registry {
     }
 
     /// Write `artifact` as the next free version of `name` (1 for a new
-    /// model) and return the allocated version.
+    /// model) and return the allocated version. Safe against concurrent
+    /// publishers: the version file is claimed with `create_new` before
+    /// anything is written, so two racing publishes get distinct numbers
+    /// instead of one silently overwriting the other.
     pub fn publish(&self, name: &str, artifact: &ModelArtifact) -> Result<u32, ArtifactError> {
-        let next = self.versions(name)?.last().map_or(1, |v| v + 1);
-        self.save(name, next, artifact)?;
-        Ok(next)
+        let mut next = self.versions(name)?.last().map_or(1, |v| v + 1);
+        loop {
+            let path = self.path(name, next)?;
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    next += 1;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            // The number is claimed; fill the file atomically (temp +
+            // rename, via `save`), dropping the claim if the write fails.
+            return match artifact.save(&path) {
+                Ok(()) => Ok(next),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&path);
+                    Err(e)
+                }
+            };
+        }
     }
 
     /// Load one version of `name`, or the latest when `version` is `None`.
@@ -261,6 +289,44 @@ mod tests {
             reg.load("ghost", None),
             Err(ArtifactError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn publish_never_overwrites_an_existing_version() {
+        let reg = temp_registry("claimed");
+        // A pre-existing version file — e.g. another publisher's claim still
+        // being filled — is skipped, not overwritten.
+        let claimed = reg.path("demo", 1).unwrap();
+        std::fs::create_dir_all(claimed.parent().unwrap()).unwrap();
+        std::fs::write(&claimed, b"").unwrap();
+        let a = ModelArtifact::synthetic(4, 2, 9);
+        assert_eq!(reg.publish("demo", &a).unwrap(), 2);
+        assert_eq!(std::fs::read(&claimed).unwrap(), b"", "claim untouched");
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn concurrent_publishes_allocate_distinct_versions() {
+        let reg = std::sync::Arc::new(temp_registry("race"));
+        let n = 4u64;
+        let handles: Vec<_> = (0..n)
+            .map(|seed| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    reg.publish("demo", &ModelArtifact::synthetic(4, 2, seed))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut got: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4], "no version lost or duplicated");
+        assert_eq!(reg.versions("demo").unwrap(), vec![1, 2, 3, 4]);
+        // every published file is a complete, loadable artifact
+        for v in 1..=4 {
+            reg.load("demo", Some(v)).expect("complete artifact");
+        }
+        let _ = std::fs::remove_dir_all(reg.root());
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn artifact_of(model: &EspModel) -> ModelArtifact {
             seed: MlpConfig::default().seed,
             fold: None,
             examples: model.num_examples() as u64,
+            train_config: "roundtrip-subset quick net".into(),
         },
         Some(HeuristicRates::ball_larus_mips()),
     )

@@ -16,7 +16,10 @@
 //! back on a later run, skipping the fold's training entirely. Loaded models
 //! predict bitwise-identically to freshly trained ones, so the table output
 //! does not change. Passing both (typically the same DIR) populates the
-//! cache on first run and reuses it afterwards.
+//! cache on first run and reuses it afterwards. Each artifact records the
+//! configuration it was trained under; a cached fold whose corpus, seed, or
+//! learner configuration differs from the current run (say, a `--quick`
+//! registry read by a full run) is retrained instead of silently reused.
 
 use esp_core::{EspConfig, Learner};
 use esp_eval::{

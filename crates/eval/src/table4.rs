@@ -17,7 +17,11 @@ use crate::miss::{mean, miss_rate, Prediction};
 
 /// Registry-backed caching of Table 4's per-fold models, so re-runs can skip
 /// the expensive leave-one-out retraining. Fold models are stored under the
-/// names `table4-<lang>-fold<i>` as version 1 (re-saving overwrites).
+/// names `table4-<lang>-fold<i>` as version 1 (re-saving overwrites). Loaded
+/// artifacts are validated against the current run — corpus, seed, fold and
+/// the training-configuration stamp recorded at save time — and a mismatch
+/// (say, a registry populated by a `--quick` run being read by a full run)
+/// falls back to retraining instead of silently changing the table.
 #[derive(Debug, Clone)]
 pub struct ModelCache {
     /// Registry root directory.
@@ -133,11 +137,22 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
         .collect()
 }
 
+/// Canonical stamp for the parts of an [`EspConfig`] that change what a
+/// trained fold computes. `threads` is deliberately excluded: every thread
+/// count produces bitwise-identical models.
+fn train_config_stamp(cfg: &EspConfig) -> String {
+    format!("{:?} | {:?}", cfg.learner, cfg.features)
+}
+
 /// Produce one cross-validation fold's model, consulting the artifact
 /// registry when a [`ModelCache`] is configured: load the fold if allowed
 /// and present (skipping retraining entirely), otherwise train it with
-/// [`leave_one_out`] and save it if asked. Cached models predict bitwise
-/// identically to freshly trained ones, so the table is unchanged either way.
+/// [`leave_one_out`] and save it if asked. A cached artifact is used only
+/// when its recorded corpus, seed, fold and training-configuration stamp
+/// match this run — then it predicts bitwise identically to a freshly
+/// trained model, so the table is unchanged either way; anything else
+/// (different seed or feature set, a `--quick` registry read by a full run)
+/// is retrained.
 fn fold_model(
     suite: &SuiteData,
     cfg: &Table4Config,
@@ -154,26 +169,40 @@ fn fold_model(
         Lang::Fort => "fort",
     };
     let name = format!("table4-{lang_tag}-fold{fold}");
+    let seed = match &cfg.esp.learner {
+        Learner::Net(m) => m.seed,
+        _ => 0,
+    };
+    let train_config = train_config_stamp(&cfg.esp);
     if cache.load {
         match reg.load(&name, None) {
             Ok((v, artifact)) => {
-                eprintln!("  fold {name}: loaded v{v} from {}", cache.dir.display());
-                return artifact.to_model();
+                let m = &artifact.meta;
+                if m.train_config == train_config
+                    && m.corpus_id == suite.config.name
+                    && m.seed == seed
+                    && m.fold == Some(fold as u32)
+                {
+                    eprintln!("  fold {name}: loaded v{v} from {}", cache.dir.display());
+                    return artifact.to_model();
+                }
+                eprintln!(
+                    "  fold {name}: cached v{v} was trained differently \
+                     (corpus {:?}, seed {}, config {:?}); retraining",
+                    m.corpus_id, m.seed, m.train_config
+                );
             }
             Err(e) => eprintln!("  fold {name}: cache miss ({e}); training"),
         }
     }
     let model = leave_one_out(group, fold, &cfg.esp);
     if cache.save {
-        let seed = match &cfg.esp.learner {
-            Learner::Net(m) => m.seed,
-            _ => 0,
-        };
         let meta = ModelMeta {
             corpus_id: suite.config.name.to_string(),
             seed,
             fold: Some(fold as u32),
             examples: model.num_examples() as u64,
+            train_config,
         };
         match ModelArtifact::from_model(&model, meta, None)
             .and_then(|a| reg.save(&name, 1, &a))

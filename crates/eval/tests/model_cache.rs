@@ -1,0 +1,69 @@
+//! The Table 4 fold-model cache must be transparent: a cache hit reproduces
+//! the cache-less table bitwise, and a registry populated under a different
+//! training configuration (a `--quick` registry read by a full run, a
+//! different seed, …) is detected and retrained — never silently reused.
+
+use esp_core::{EspConfig, Learner};
+use esp_eval::table4::compute;
+use esp_eval::{ModelCache, SuiteData, Table4Config};
+use esp_lang::CompilerConfig;
+use esp_nnet::MlpConfig;
+
+fn esp_config(hidden: usize, seed: u64) -> EspConfig {
+    EspConfig {
+        learner: Learner::Net(MlpConfig {
+            hidden,
+            max_epochs: 20,
+            patience: 5,
+            restarts: 1,
+            seed,
+            ..MlpConfig::default()
+        }),
+        threads: 1,
+        ..EspConfig::default()
+    }
+}
+
+#[test]
+fn cache_is_bitwise_transparent_and_rejects_stale_configs() {
+    let suite = SuiteData::build_subset(&["sort", "grep"], &CompilerConfig::default());
+    let dir = std::env::temp_dir().join(format!("esp-table4-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = |save: bool, load: bool| {
+        Some(ModelCache {
+            dir: dir.clone(),
+            save,
+            load,
+        })
+    };
+
+    // First run trains and saves; second run loads and must reproduce the
+    // table bitwise (Table4Row is f64-exact PartialEq).
+    let cfg_a = Table4Config {
+        esp: esp_config(3, MlpConfig::default().seed),
+        model_cache: cache(true, true),
+    };
+    let first = compute(&suite, &cfg_a);
+    let second = compute(&suite, &cfg_a);
+    assert_eq!(first, second, "a cache hit must not change the table");
+
+    // A different training configuration over the SAME registry must not
+    // reuse the cached folds: its table equals a cache-less run of that
+    // configuration, not whatever the registry holds.
+    let esp_b = esp_config(5, MlpConfig::default().seed + 1);
+    let stale = Table4Config {
+        esp: esp_b.clone(),
+        model_cache: cache(false, true),
+    };
+    let no_cache = Table4Config {
+        esp: esp_b,
+        model_cache: None,
+    };
+    assert_eq!(
+        compute(&suite, &stale),
+        compute(&suite, &no_cache),
+        "a stale registry must fall back to retraining"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

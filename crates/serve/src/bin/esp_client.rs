@@ -193,6 +193,7 @@ fn registry(args: &[String]) {
                 None => println!("  fold:     (none)"),
             }
             println!("  examples: {}", i.meta.examples);
+            println!("  config:   {}", i.meta.train_config);
             println!("  topology: {} inputs, {} hidden", i.dim, i.hidden);
             println!("  rates:    {}", if i.has_rates { "present" } else { "absent" });
             println!("  size:     {} bytes", i.file_len);

@@ -27,7 +27,7 @@ impl Client {
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, ServeError> {
-        write_frame(&mut self.writer, &req.encode())?;
+        write_frame(&mut self.writer, &req.encode()?)?;
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
         match Response::decode(&payload)? {
@@ -36,7 +36,9 @@ impl Client {
         }
     }
 
-    /// Predict a batch of raw encoded rows; results come back in order.
+    /// Predict a batch of raw encoded rows; results come back in order. A
+    /// ragged batch (rows or masks of differing lengths) fails client-side
+    /// with [`ServeError::Protocol`] before anything is sent.
     pub fn predict(&mut self, rows: Vec<PredictRow>) -> Result<Vec<Prediction>, ServeError> {
         match self.round_trip(&Request::Predict(rows))? {
             Response::Predictions(ps) => Ok(ps),

@@ -40,6 +40,7 @@ pub use client::Client;
 pub use loadgen::{key_pool, LoadGenConfig, LoadGenReport};
 pub use metrics::Metrics;
 pub use protocol::{
-    PredictRow, Prediction, Request, Response, ServeError, ServerInfo, StatsSnapshot,
+    FrameReader, PredictRow, Prediction, Request, Response, ServeError, ServerInfo,
+    StatsSnapshot,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -79,22 +79,85 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError>
     Ok(())
 }
 
-/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
-/// connection cleanly at a frame boundary.
+/// Read one length-prefixed frame, blocking until it is complete.
+/// `Ok(None)` means the peer closed the connection cleanly at a frame
+/// boundary. For sockets with a read timeout, use [`FrameReader`] instead —
+/// this convenience wrapper does not preserve partial frames across calls.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
-    let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    FrameReader::new().read(r)
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// `read_exact` discards whatever it already copied out when a read fails,
+/// so calling it on a socket with a read timeout desynchronizes the stream
+/// the moment a timeout fires mid-frame: the next parse would start in the
+/// middle of the interrupted frame and read garbage length prefixes from
+/// then on. `FrameReader` keeps the partially-read length prefix and
+/// payload across calls instead — a `WouldBlock`/`TimedOut` error is
+/// surfaced to the caller (so it can check a shutdown flag), and the next
+/// [`FrameReader::read`] resumes exactly where the stream stopped.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    len_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    in_payload: bool,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> Self {
+        FrameReader::default()
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
-        return Err(ServeError::FrameTooLarge(len));
+
+    /// Drive the current frame forward until it completes. Returns
+    /// `Ok(Some(payload))` for a full frame and `Ok(None)` on clean EOF at
+    /// a frame boundary; EOF mid-frame is an `UnexpectedEof` I/O error.
+    /// Timeout errors leave the partial state intact for the next call.
+    pub fn read(&mut self, r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+        loop {
+            if !self.in_payload {
+                if self.len_got < self.len_buf.len() {
+                    match r.read(&mut self.len_buf[self.len_got..]) {
+                        Ok(0) if self.len_got == 0 => return Ok(None),
+                        Ok(0) => return Err(eof_mid_frame()),
+                        Ok(n) => self.len_got += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                    continue;
+                }
+                let len = u32::from_le_bytes(self.len_buf) as usize;
+                if len > MAX_FRAME {
+                    return Err(ServeError::FrameTooLarge(len));
+                }
+                self.payload = vec![0u8; len];
+                self.payload_got = 0;
+                self.in_payload = true;
+            }
+            if self.payload_got < self.payload.len() {
+                match r.read(&mut self.payload[self.payload_got..]) {
+                    Ok(0) => return Err(eof_mid_frame()),
+                    Ok(n) => self.payload_got += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+                continue;
+            }
+            self.len_got = 0;
+            self.in_payload = false;
+            return Ok(Some(std::mem::take(&mut self.payload)));
+        }
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+}
+
+fn eof_mid_frame() -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "connection closed mid-frame",
+    ))
 }
 
 const OP_PREDICT: u8 = 1;
@@ -198,15 +261,33 @@ pub enum Response {
     Error(String),
 }
 
+/// The single dimension shared by every row and mask of a predict batch.
+/// The wire format carries one `dim` for the whole batch, so a ragged batch
+/// cannot be encoded faithfully; it is a client-side [`ServeError::Protocol`].
+fn uniform_dim(rows: &[PredictRow]) -> Result<usize, ServeError> {
+    let dim = rows.first().map_or(0, |r| r.row.len());
+    for (i, r) in rows.iter().enumerate() {
+        if r.row.len() != dim || r.mask.len() != dim {
+            return Err(ServeError::Protocol(format!(
+                "row {i} carries {} values / {} mask bits; the batch dimension is {dim}",
+                r.row.len(),
+                r.mask.len()
+            )));
+        }
+    }
+    Ok(dim)
+}
+
 impl Request {
-    /// Encode to a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to a frame payload. Fails with [`ServeError::Protocol`] when
+    /// a predict batch is ragged (rows or masks of differing lengths).
+    pub fn encode(&self) -> Result<Vec<u8>, ServeError> {
         let mut w = ByteWriter::new();
         match self {
             Request::Predict(rows) => {
+                let dim = uniform_dim(rows)?;
                 w.u8(OP_PREDICT);
                 w.u32(rows.len() as u32);
-                let dim = rows.first().map_or(0, |r| r.row.len());
                 w.u32(dim as u32);
                 for r in rows {
                     for &x in &r.row {
@@ -221,7 +302,7 @@ impl Request {
             Request::Info => w.u8(OP_INFO),
             Request::Shutdown => w.u8(OP_SHUTDOWN),
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Decode a frame payload.
@@ -232,7 +313,19 @@ impl Request {
             OP_PREDICT => {
                 let n = r.u32()? as usize;
                 let dim = r.u32()? as usize;
-                if n.checked_mul(dim * 9).is_none_or(|need| need > r.remaining()) {
+                // Each row consumes 9·dim bytes. dim == 0 would make the
+                // bound below vacuous and let a 9-byte frame demand an
+                // n-row allocation; no real model is 0-dimensional.
+                if n > 0 && dim == 0 {
+                    return Err(ServeError::Protocol(
+                        "predict batch claims rows of zero features".into(),
+                    ));
+                }
+                if dim
+                    .checked_mul(9)
+                    .and_then(|per_row| per_row.checked_mul(n))
+                    .is_none_or(|need| need > r.remaining())
+                {
                     return Err(ServeError::Protocol(format!(
                         "predict batch claims {n} rows × {dim} features beyond the frame"
                     )));
@@ -391,12 +484,37 @@ mod tests {
                     mask: vec![true, true, true],
                 },
             ]),
+            Request::Predict(Vec::new()),
             Request::Stats,
             Request::Info,
             Request::Shutdown,
         ];
         for req in reqs {
-            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+            assert_eq!(Request::decode(&req.encode().unwrap()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn ragged_batches_fail_to_encode() {
+        let ragged = [
+            Request::Predict(vec![
+                PredictRow {
+                    row: vec![1.0, 2.0],
+                    mask: vec![true, true],
+                },
+                PredictRow {
+                    row: vec![1.0],
+                    mask: vec![true],
+                },
+            ]),
+            // mask length disagreeing with the row length is just as ragged
+            Request::Predict(vec![PredictRow {
+                row: vec![1.0, 2.0],
+                mask: vec![true],
+            }]),
+        ];
+        for req in ragged {
+            assert!(matches!(req.encode(), Err(ServeError::Protocol(_))));
         }
     }
 
@@ -434,12 +552,93 @@ mod tests {
 
     #[test]
     fn frames_round_trip_over_a_buffer() {
-        let payload = Request::Stats.encode();
+        let payload = Request::Stats.encode().unwrap();
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
         assert_eq!(read_frame(&mut cursor).unwrap(), Some(payload));
         assert_eq!(read_frame(&mut cursor).unwrap(), None); // clean EOF
+    }
+
+    /// A `Read` that serves a script of partial chunks and timeouts, like a
+    /// slow socket with a read timeout.
+    struct StutteringReader {
+        script: Vec<Result<Vec<u8>, std::io::ErrorKind>>,
+    }
+
+    impl Read for StutteringReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.script.pop() {
+                None => Ok(0), // EOF once the script runs out
+                Some(Err(kind)) => Err(kind.into()),
+                Some(Ok(bytes)) => {
+                    assert!(bytes.len() <= buf.len(), "script chunk fits the request");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let payload = Request::Predict(vec![PredictRow {
+            row: vec![0.5, -1.5],
+            mask: vec![true, false],
+        }])
+        .encode()
+        .unwrap();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+
+        // Deliver the frame in awkward slices with timeouts everywhere: mid
+        // length prefix, between prefix and payload, and mid payload.
+        let mid = framed.len() / 2;
+        let script: Vec<Result<Vec<u8>, std::io::ErrorKind>> = vec![
+            Ok(framed[..2].to_vec()),
+            Err(std::io::ErrorKind::WouldBlock),
+            Ok(framed[2..4].to_vec()),
+            Err(std::io::ErrorKind::TimedOut),
+            Ok(framed[4..mid].to_vec()),
+            Err(std::io::ErrorKind::WouldBlock),
+            Ok(framed[mid..].to_vec()),
+        ];
+        let mut r = StutteringReader {
+            script: script.into_iter().rev().collect(),
+        };
+        let mut frames = FrameReader::new();
+        let mut timeouts = 0;
+        let got = loop {
+            match frames.read(&mut r) {
+                Ok(Some(p)) => break p,
+                Ok(None) => panic!("EOF before the frame completed"),
+                Err(ServeError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    timeouts += 1; // resume; no bytes may be lost
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(got, payload, "frame reassembled across timeouts");
+        assert_eq!(timeouts, 3);
+        assert_eq!(frames.read(&mut r).unwrap(), None, "clean EOF after");
+    }
+
+    #[test]
+    fn frame_reader_flags_eof_mid_frame() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &Request::Stats.encode().unwrap()).unwrap();
+        framed.pop(); // lose the last payload byte before "hanging up"
+        let mut cursor = std::io::Cursor::new(framed);
+        let err = FrameReader::new().read(&mut cursor).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof
+        ));
     }
 
     #[test]
@@ -456,6 +655,16 @@ mod tests {
         w.u8(OP_PREDICT);
         w.u32(u32::MAX);
         w.u32(1000);
+        assert!(matches!(
+            Request::decode(&w.into_bytes()),
+            Err(ServeError::Protocol(_))
+        ));
+        // zero-dim rows would make the size bound vacuous: a 9-byte frame
+        // must not reach a u32::MAX-element allocation
+        let mut w = ByteWriter::new();
+        w.u8(OP_PREDICT);
+        w.u32(u32::MAX);
+        w.u32(0);
         assert!(matches!(
             Request::decode(&w.into_bytes()),
             Err(ServeError::Protocol(_))

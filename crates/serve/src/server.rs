@@ -24,7 +24,7 @@ use esp_runtime::parallel_map;
 use crate::cache::{cache_key, LruCache};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    read_frame, write_frame, Prediction, Request, Response, ServeError, ServerInfo,
+    write_frame, FrameReader, Prediction, Request, Response, ServeError, ServerInfo,
 };
 
 /// Server tuning knobs.
@@ -161,21 +161,26 @@ impl Drop for ServerHandle {
 
 fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
     // A finite read timeout lets idle connections notice the stop flag.
+    // Frames are read through a resumable `FrameReader`: a timeout firing
+    // mid-frame (slow or pausing client) keeps the partial bytes buffered,
+    // so the stream never desynchronizes — the next iteration resumes the
+    // same frame after re-checking the flag.
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
+    let mut frames = FrameReader::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let payload = match read_frame(&mut reader) {
+        let payload = match frames.read(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => return Ok(()), // client hung up cleanly
             Err(ServeError::Io(e))
                 if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
             {
-                continue; // idle; re-check the stop flag
+                continue; // idle or mid-frame; re-check the stop flag
             }
             Err(e) => return Err(e),
         };

@@ -47,6 +47,7 @@ fn served_predictions_match_in_process_bitwise() {
             seed: MlpConfig::default().seed,
             fold: None,
             examples: model.num_examples() as u64,
+            train_config: "serve-integration quick net".into(),
         },
         None,
     )

@@ -7,6 +7,13 @@
 //! result to `BENCH_pipeline.json` — the file the perf trajectory is tracked
 //! in from PR to PR.
 //!
+//! The report also embeds a `"phases"` wall-clock summary (setup, encode,
+//! and the parallel time of each stage) and a tracing-overhead probe: the
+//! train stage is re-run with `esp-obs` span tracing enabled, the weights
+//! are asserted bitwise identical to the untraced run
+//! (`"tracing_identical"`), and the relative cost lands in
+//! `"tracing_overhead_pct"`.
+//!
 //! ```text
 //! bench_pipeline [--quick] [--threads N] [--out PATH]
 //! ```
@@ -61,8 +68,8 @@ fn main() {
     );
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
-    eprintln!("compiling the corpus (shared setup, untimed split)…");
-    let suite = SuiteData::build(&CompilerConfig::default());
+    eprintln!("compiling the corpus (shared setup)…");
+    let (suite, setup_ms) = time_ms(|| SuiteData::build(&CompilerConfig::default()));
     let programs: Vec<TrainingProgram<'_>> = suite
         .benches
         .iter()
@@ -112,7 +119,7 @@ fn main() {
         learner: Learner::Net(mlp_cfg.clone()),
         ..EspConfig::default()
     };
-    let (_, data) = build_training_set(&programs, &esp_cfg);
+    let ((_, data), encode_ms) = time_ms(|| build_training_set(&programs, &esp_cfg));
     eprintln!(
         "stage 2/3: training on {} examples ({} restarts)…",
         data.len(),
@@ -143,6 +150,32 @@ fn main() {
         parallel_ms: train_parallel,
         bitwise_identical: train_same,
     };
+
+    // ---- tracing-overhead probe: the train stage with spans enabled ------
+    eprintln!("tracing probe: re-running the train stage with spans enabled…");
+    esp_obs::trace::enable();
+    let (m_traced, train_traced_ms) = time_ms(|| {
+        Mlp::train(
+            &data,
+            &MlpConfig {
+                threads,
+                ..mlp_cfg.clone()
+            },
+        )
+    });
+    esp_obs::trace::disable();
+    let trace_events = esp_obs::trace::drain().len();
+    let tracing_identical =
+        weights_bits(&m_traced.0.flat_weights()) == weights_bits(&mt.0.flat_weights());
+    let tracing_overhead_pct = if train_parallel > 0.0 {
+        (train_traced_ms - train_parallel) / train_parallel * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  tracing: {train_traced_ms:.1} ms vs {train_parallel:.1} ms untraced \
+         ({tracing_overhead_pct:+.2}%), {trace_events} events, identical: {tracing_identical}"
+    );
 
     // ---- stage 3: leave-one-out cross-validation (folds) -----------------
     let cv_pool: Vec<TrainingProgram<'_>> = if quick {
@@ -207,7 +240,22 @@ fn main() {
         );
     }
     let cores = resolve_threads(0);
-    let json = render_json(&stages, threads, cores, quick);
+    let phases = Phases {
+        setup_ms,
+        encode_ms,
+        profile_ms: stages[0].parallel_ms,
+        train_ms: stages[1].parallel_ms,
+        crossval_ms: stages[2].parallel_ms,
+    };
+    let json = render_json(
+        &stages,
+        &phases,
+        threads,
+        cores,
+        quick,
+        tracing_overhead_pct,
+        tracing_identical,
+    );
     std::fs::write(&out_path, &json).expect("write bench JSON");
     eprintln!("wrote {out_path}");
 
@@ -215,17 +263,56 @@ fn main() {
         eprintln!("ERROR: a parallel stage diverged from the serial reference");
         std::process::exit(1);
     }
+    if !tracing_identical {
+        eprintln!("ERROR: enabling tracing changed the trained weights");
+        std::process::exit(1);
+    }
+}
+
+/// Wall-clock of each pipeline phase (parallel variant where both exist).
+struct Phases {
+    setup_ms: f64,
+    encode_ms: f64,
+    profile_ms: f64,
+    train_ms: f64,
+    crossval_ms: f64,
+}
+
+impl Phases {
+    fn total_ms(&self) -> f64 {
+        self.setup_ms + self.encode_ms + self.profile_ms + self.train_ms + self.crossval_ms
+    }
 }
 
 fn weights_bits(w: &[f64]) -> Vec<u64> {
     w.iter().map(|x| x.to_bits()).collect()
 }
 
-fn render_json(stages: &[StageResult], threads: usize, cores: usize, quick: bool) -> String {
+fn render_json(
+    stages: &[StageResult],
+    phases: &Phases,
+    threads: usize,
+    cores: usize,
+    quick: bool,
+    tracing_overhead_pct: f64,
+    tracing_identical: bool,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"cores\": {cores},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"phases\": {\n");
+    s.push_str(&format!("    \"setup_ms\": {:.3},\n", phases.setup_ms));
+    s.push_str(&format!("    \"encode_ms\": {:.3},\n", phases.encode_ms));
+    s.push_str(&format!("    \"profile_ms\": {:.3},\n", phases.profile_ms));
+    s.push_str(&format!("    \"train_ms\": {:.3},\n", phases.train_ms));
+    s.push_str(&format!("    \"crossval_ms\": {:.3},\n", phases.crossval_ms));
+    s.push_str(&format!("    \"total_ms\": {:.3}\n", phases.total_ms()));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"tracing_overhead_pct\": {tracing_overhead_pct:.3},\n"
+    ));
+    s.push_str(&format!("  \"tracing_identical\": {tracing_identical},\n"));
     s.push_str("  \"stages\": [\n");
     for (i, st) in stages.iter().enumerate() {
         s.push_str(&format!(

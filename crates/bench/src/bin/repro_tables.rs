@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
-//!              [--save-model DIR] [--load-model DIR]
+//!              [--save-model DIR] [--load-model DIR] [--subset NAME,NAME,…]
+//!              [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
@@ -20,6 +21,14 @@
 //! configuration it was trained under; a cached fold whose corpus, seed, or
 //! learner configuration differs from the current run (say, a `--quick`
 //! registry read by a full run) is retrained instead of silently reused.
+//!
+//! `--subset sort,grep,…` restricts the profiled corpus to the named
+//! programs — useful for fast smoke runs (verify.sh drives Table 4 over a
+//! four-program subset). `--trace-out FILE` enables span tracing and writes
+//! a Perfetto-loadable trace on exit; `--metrics-out FILE` writes the
+//! process-global Prometheus text exposition (`esp_runtime_*`,
+//! `esp_train_*`, `esp_eval_*` families). Telemetry is observation-only:
+//! the tables are bitwise identical with and without it.
 
 use esp_core::{EspConfig, Learner};
 use esp_eval::{
@@ -68,6 +77,13 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
     };
+    let trace_out = flag_value("--trace-out").map(std::path::PathBuf::from);
+    let metrics_out = flag_value("--metrics-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        esp_obs::trace::enable();
+    }
+    let subset: Option<Vec<String>> = flag_value("--subset")
+        .map(|s| s.split(',').map(str::to_string).collect());
     let save_dir = flag_value("--save-model");
     let load_dir = flag_value("--load-model");
     let model_cache = match (save_dir, load_dir) {
@@ -83,7 +99,14 @@ fn main() {
         }),
     };
     // Flags that consume the next argument, so it can't be the artifact name.
-    let value_flags = ["--threads", "--save-model", "--load-model"];
+    let value_flags = [
+        "--threads",
+        "--save-model",
+        "--load-model",
+        "--subset",
+        "--trace-out",
+        "--metrics-out",
+    ];
     let what = args
         .iter()
         .enumerate()
@@ -94,9 +117,16 @@ fn main() {
         .unwrap_or("all");
 
     let needs_suite = matches!(what, "table3" | "table4" | "table5" | "table6" | "fig2" | "all");
-    let suite = needs_suite.then(|| {
-        eprintln!("building + profiling the 43-program corpus (cc-osf1-v1.2, Alpha)…");
-        SuiteData::build_with_threads(&CompilerConfig::default(), threads)
+    let suite = needs_suite.then(|| match &subset {
+        Some(names) => {
+            eprintln!("building + profiling a {}-program subset…", names.len());
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            SuiteData::build_subset(&refs, &CompilerConfig::default())
+        }
+        None => {
+            eprintln!("building + profiling the 43-program corpus (cc-osf1-v1.2, Alpha)…");
+            SuiteData::build_with_threads(&CompilerConfig::default(), threads)
+        }
     });
 
     let run_t4 = |suite: &SuiteData| {
@@ -154,6 +184,19 @@ fn main() {
                 "unknown artifact `{other}`; expected table3|table4|table5|table6|table7|fig1|fig2|extras|scheme|all"
             );
             std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &metrics_out {
+        match std::fs::write(path, esp_obs::global_metrics().render_text()) {
+            Ok(()) => eprintln!("wrote metrics exposition to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &trace_out {
+        match esp_obs::trace::write_json(path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
     }
 }

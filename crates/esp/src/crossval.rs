@@ -24,6 +24,7 @@ pub fn leave_one_out(
         "leave-one-out needs at least two programs"
     );
     assert!(held_out < programs.len(), "held-out index out of range");
+    let _sp = esp_obs::span!("esp", "fold", held_out = held_out, programs = programs.len());
     let fold: Vec<TrainingProgram<'_>> = programs
         .iter()
         .enumerate()

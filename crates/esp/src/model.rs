@@ -125,7 +125,10 @@ impl EspModel {
     ///
     /// Panics if the corpus contains no executed branches.
     pub fn train(corpus: &[TrainingProgram<'_>], cfg: &EspConfig) -> Self {
-        let (encoder, data) = build_training_set(corpus, cfg);
+        let (encoder, data) = {
+            let _sp = esp_obs::span!("esp", "encode", programs = corpus.len());
+            build_training_set(corpus, cfg)
+        };
         let fitted = match &cfg.learner {
             Learner::Net(mcfg) => Fitted::Net(Mlp::train(&data, mcfg).0),
             Learner::Tree(tcfg) => Fitted::Tree(DecisionTree::train(&data, tcfg)),

@@ -25,6 +25,7 @@ impl BenchData {
     /// Panics when the benchmark fails to compile or run — both are corpus
     /// bugs caught by the test suite.
     pub fn build(bench: &Benchmark, cfg: &CompilerConfig) -> Self {
+        let _sp = esp_obs::span!("corpus", "profile_bench", bench = bench.name);
         let prog = bench
             .compile(cfg)
             .unwrap_or_else(|e| panic!("benchmark `{}` failed to compile: {e}", bench.name));
@@ -61,6 +62,7 @@ impl SuiteData {
     /// so the thread count cannot change any profile.
     pub fn build_with_threads(cfg: &CompilerConfig, threads: usize) -> Self {
         let all = suite();
+        let _sp = esp_obs::span!("corpus", "build_suite", programs = all.len());
         SuiteData {
             benches: esp_runtime::parallel_map(threads, &all, |b| BenchData::build(b, cfg)),
             config: *cfg,
@@ -82,6 +84,7 @@ impl SuiteData {
                     .unwrap_or_else(|| panic!("unknown benchmark `{n}`"))
             })
             .collect();
+        let _sp = esp_obs::span!("corpus", "build_suite", programs = picked.len());
         SuiteData {
             benches: esp_runtime::parallel_map(0, &picked, |b| BenchData::build(b, cfg)),
             config: *cfg,

@@ -108,12 +108,30 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
                 profile: training[i].profile,
             })
             .collect();
+        let fold_metrics = esp_obs::global_metrics();
+        let folds_total = fold_metrics.counter("esp_eval_folds_total");
+        let fold_ms = fold_metrics.histogram("esp_eval_fold_ms");
+        let fold_miss = fold_metrics.histogram("esp_eval_fold_miss_permille");
         for (fold, &bench_i) in idx.iter().enumerate() {
-            let model = fold_model(suite, cfg, lang, fold, &group);
             let b = &suite.benches[bench_i];
+            let mut sp = esp_obs::span!(
+                "eval",
+                "table4_fold",
+                lang = if lang == Lang::C { "C" } else { "Fortran" },
+                fold = fold,
+                bench = b.bench.name,
+            );
+            let t0 = std::time::Instant::now();
+            let model = fold_model(suite, cfg, lang, fold, &group);
             esp_miss[bench_i] = miss_rate(b, |site| {
                 Prediction::from(Some(model.predict_taken(&b.prog, &b.analysis, site)))
             });
+            folds_total.inc();
+            fold_ms.record(t0.elapsed().as_millis() as u64);
+            fold_miss.record((esp_miss[bench_i] * 1000.0).round() as u64);
+            if sp.is_enabled() {
+                sp.arg("miss", esp_miss[bench_i]);
+            }
         }
     }
 

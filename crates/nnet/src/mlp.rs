@@ -8,6 +8,7 @@
 //! depends only on the chunk count. Any `threads` setting therefore yields
 //! bitwise-identical weights.
 
+use esp_obs::span;
 use esp_runtime::{parallel_drain, parallel_map_indices, resolve_threads, Pcg32};
 
 /// One training example: an encoded static feature vector `x`, the branch's
@@ -376,6 +377,16 @@ impl Mlp {
             "inconsistent feature dimensionality"
         );
         let restarts = cfg.restarts.max(1);
+        let _sp = span!(
+            "train",
+            "train",
+            examples = data.len(),
+            restarts = restarts,
+            hidden = cfg.hidden,
+        );
+        esp_obs::global_metrics()
+            .counter("esp_train_restarts_total")
+            .add(restarts as u64);
         let total = resolve_threads(cfg.threads);
         let concurrent = total.min(restarts);
         let chunk_threads = (total / concurrent).max(1);
@@ -386,6 +397,7 @@ impl Mlp {
                 cfg.seed.wrapping_add(r as u64),
                 inputs,
                 chunk_threads,
+                r,
             )
         });
         let mut outcome: Option<(Mlp, TrainReport)> = None;
@@ -406,7 +418,9 @@ impl Mlp {
         seed: u64,
         inputs: usize,
         threads: usize,
+        restart: usize,
     ) -> (Mlp, TrainReport) {
+        let mut restart_span = span!("train", "restart", restart = restart, seed = seed);
         let mut rng = Pcg32::seed_from_u64(seed);
         let mut mlp = Mlp::new_random(inputs, cfg.hidden, &mut rng);
         let num_chunks = data.len().div_ceil(GRAD_CHUNK);
@@ -424,8 +438,10 @@ impl Mlp {
         let mut epochs = 0usize;
         let mut final_loss = 0.0;
 
+        let mut stop_reason = "max_epochs";
         for epoch in 0..cfg.max_epochs {
             epochs = epoch + 1;
+            let mut epoch_span = span!("train", "epoch", restart = restart, epoch = epoch);
             let loss = mlp.batch_gradient(data, cfg.loss, &mut bufs, &mut losses, threads);
             final_loss = loss;
             mlp.apply(&bufs[0], lr / total_weight);
@@ -436,6 +452,11 @@ impl Mlp {
             prev_loss = loss;
 
             let terr = mlp.thresholded_error(data);
+            if epoch_span.is_enabled() {
+                epoch_span.arg("loss", loss);
+                epoch_span.arg("lr", lr);
+                epoch_span.arg("terr", terr);
+            }
             if terr < best_terr - 1e-12 {
                 best_terr = terr;
                 best = mlp.clone();
@@ -443,9 +464,23 @@ impl Mlp {
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
+                    stop_reason = "patience";
                     break;
                 }
             }
+        }
+        let m = esp_obs::global_metrics();
+        m.counter("esp_train_epochs_total").add(epochs as u64);
+        m.counter(if stop_reason == "patience" {
+            "esp_train_stop_patience_total"
+        } else {
+            "esp_train_stop_max_epochs_total"
+        })
+        .inc();
+        if restart_span.is_enabled() {
+            restart_span.arg("epochs", epochs);
+            restart_span.arg("stop", stop_reason);
+            restart_span.arg("best_terr", best_terr);
         }
 
         (

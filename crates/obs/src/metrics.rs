@@ -1,0 +1,319 @@
+//! Named metrics: atomic [`Counter`]s, [`Gauge`]s, and log-bucketed
+//! [`Log2Histogram`]s in a [`MetricsRegistry`] with a Prometheus-style text
+//! exposition encoder.
+//!
+//! The histogram is the one that grew up in `esp-serve`: values land in
+//! bucket `bit_length(v)` (bucket `i` spans `[2^(i-1), 2^i)`, bucket 0 is
+//! exactly 0) and quantiles are answered as the upper bound of the first
+//! bucket whose cumulative count crosses the target rank — always within 2×
+//! of the true value, with 64 fixed buckets and no samples retained.
+//!
+//! Registration is get-or-create by name behind a mutex; recording on the
+//! returned `Arc` handles is pure relaxed atomics. Callers register once at
+//! setup and record in loops.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an f64 (stored as bits in an atomic, so sets are
+/// lock-free; last writer wins).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer observations
+/// (microseconds, batch sizes, …).
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize; // bit length; 0 → 0
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate: the upper bound (`2^i − 1`) of the first bucket
+    /// whose cumulative count reaches `ceil(q · count)`. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A registry of named metrics. Cheap to clone handles out of; rendering
+/// walks the name-sorted maps so the exposition is deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Log2Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Log2Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Log2Histogram::new())),
+        )
+    }
+
+    /// Render every metric in Prometheus text exposition format:
+    /// `# TYPE` lines, counters/gauges as bare samples, histograms as
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("counter map poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().expect("gauge map poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+        {
+            let counts = h.bucket_counts();
+            let last = counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(1);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().take(last).enumerate() {
+                cum += c;
+                let le = if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = r.gauge("depth");
+        g.set(1.5);
+        assert_eq!(r.gauge("depth").get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_matches_serve_bucketing() {
+        let h = Log2Histogram::new();
+        for us in [10u64, 12, 14, 900, 1000] {
+            h.record(us);
+        }
+        // identical semantics to the original esp-serve histogram
+        assert_eq!(h.quantile(0.50), 15);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1936);
+    }
+
+    #[test]
+    fn zero_observation_lands_in_bucket_zero() {
+        let h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn exposition_contains_all_families() {
+        let r = MetricsRegistry::new();
+        r.counter("esp_test_events_total").add(4);
+        r.gauge("esp_test_ratio").set(0.25);
+        let h = r.histogram("esp_test_us");
+        h.record(3);
+        h.record(100);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE esp_test_events_total counter"));
+        assert!(text.contains("esp_test_events_total 4"));
+        assert!(text.contains("# TYPE esp_test_ratio gauge"));
+        assert!(text.contains("esp_test_ratio 0.25"));
+        assert!(text.contains("# TYPE esp_test_us histogram"));
+        // 3 has bit length 2 → bucket 2 (le=3); 100 bit length 7 → le=127
+        assert!(text.contains("esp_test_us_bucket{le=\"3\"} 1"));
+        assert!(text.contains("esp_test_us_bucket{le=\"127\"} 2"));
+        assert!(text.contains("esp_test_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("esp_test_us_sum 103"));
+        assert!(text.contains("esp_test_us_count 2"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b_total").inc();
+        r.counter("a_total").inc();
+        let text = r.render_text();
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b);
+        assert_eq!(text, r.render_text());
+    }
+}

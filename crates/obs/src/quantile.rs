@@ -1,0 +1,63 @@
+//! Quantile estimators.
+//!
+//! Two flavours live in the workspace: the **exact** estimator here, used by
+//! the load generator on its recorded per-request samples, and the
+//! **histogram** estimator on [`crate::Log2Histogram`], which answers from
+//! log2 buckets (upper-bound of the target bucket) without keeping samples.
+
+/// Exact quantile of a **sorted ascending** sample set, using the
+/// nearest-rank definition: the smallest value such that at least
+/// `ceil(q * n)` samples are ≤ it. Returns 0 for an empty slice.
+///
+/// `q` is clamped to `[0, 1]`; `q = 0` returns the minimum, `q = 1` the
+/// maximum.
+pub fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        assert_eq!(exact_quantile(&[7], 0.0), 7);
+        assert_eq!(exact_quantile(&[7], 0.5), 7);
+        assert_eq!(exact_quantile(&[7], 1.0), 7);
+    }
+
+    #[test]
+    fn nearest_rank_on_known_distribution() {
+        // 1..=10: nearest-rank p50 is the 5th value, p90 the 9th, p99 the 10th.
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(exact_quantile(&v, 0.50), 5);
+        assert_eq!(exact_quantile(&v, 0.90), 9);
+        assert_eq!(exact_quantile(&v, 0.99), 10);
+        assert_eq!(exact_quantile(&v, 1.00), 10);
+        assert_eq!(exact_quantile(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let v = [10, 12, 14, 900, 1000];
+        assert_eq!(exact_quantile(&v, 0.50), 14);
+        assert_eq!(exact_quantile(&v, 0.99), 1000);
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped() {
+        let v = [1, 2, 3];
+        assert_eq!(exact_quantile(&v, -1.0), 1);
+        assert_eq!(exact_quantile(&v, 2.0), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! The bounded per-thread trace ring buffer.
+//!
+//! One [`TraceRing`] belongs to exactly one producer thread; a drainer (any
+//! thread holding the collector's registry lock) consumes from the other
+//! end. The index protocol is single-producer / single-consumer:
+//!
+//! * the producer owns `tail`: it writes the slot at `tail % cap`, then
+//!   publishes it with a `Release` store of `tail + 1`;
+//! * the consumer owns `head`: it loads `tail` with `Acquire`, takes every
+//!   slot in `[head, tail)`, then frees them with a `Release` store of
+//!   `head = tail`.
+//!
+//! The ranges a producer writes and a consumer reads are disjoint by
+//! construction (the producer only touches index `tail`, the consumer only
+//! indices below the `tail` it observed), so no slot is ever accessed from
+//! two threads at once. Each slot still sits behind a `Mutex` to keep the
+//! crate free of `unsafe`; by the protocol above those locks are always
+//! uncontended, so the push fast path is one uncontended lock plus two
+//! atomic index operations — the producer never blocks on the drainer.
+//!
+//! When the ring is full the producer **drops the event and counts it**
+//! rather than waiting: observation must never stall the pipeline. Dropped
+//! counts are reported by [`crate::trace::dropped`] so a truncated trace is
+//! visible instead of silent.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::TraceEvent;
+
+/// Default events per thread before the ring starts dropping.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A bounded single-producer / single-consumer event ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+    /// Consumer cursor: everything below it has been drained.
+    head: AtomicUsize,
+    /// Producer cursor: everything below it is published.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+    tid: u64,
+}
+
+impl TraceRing {
+    /// An empty ring of `capacity` slots for thread `tid`.
+    pub fn new(tid: u64, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            tid,
+        }
+    }
+
+    /// The thread id this ring records for.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Append one event (producer side). Returns `false` — and counts the
+    /// event as dropped — when the ring is full. Never blocks on a drain.
+    pub fn push(&self, event: TraceEvent) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *self.slots[tail % self.slots.len()]
+            .lock()
+            .expect("ring slot poisoned") = Some(event);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Take every published event, in push order (consumer side).
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut i = head;
+        while i != tail {
+            let ev = self.slots[i % self.slots.len()]
+                .lock()
+                .expect("ring slot poisoned")
+                .take()
+                .expect("published slot holds an event");
+            out.push(ev);
+            i = i.wrapping_add(1);
+        }
+        self.head.store(tail, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ArgValue, EventKind};
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            cat: "test",
+            kind: EventKind::Instant,
+            ts_us: seq,
+            dur_us: 0,
+            tid: 0,
+            args: vec![("seq", ArgValue::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let r = TraceRing::new(3, 8);
+        for s in 0..5 {
+            assert!(r.push(ev(s)));
+        }
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.ts_us, i as u64);
+        }
+        assert_eq!(r.tid(), 3);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r = TraceRing::new(0, 4);
+        for s in 0..6 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.dropped(), 2);
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(out.len(), 4, "first four kept, rest dropped");
+        // drained slots are reusable
+        assert!(r.push(ev(99)));
+        let mut out2 = Vec::new();
+        r.drain_into(&mut out2);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].ts_us, 99);
+    }
+}

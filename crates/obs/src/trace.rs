@@ -1,0 +1,475 @@
+//! Span/event tracing: the [`Recorder`] facade, the process-wide collector
+//! of per-thread rings, and the Chrome trace-event JSON renderer.
+//!
+//! Timestamps are microseconds from a process-wide monotonic epoch
+//! ([`std::time::Instant`] taken on first use). Thread ids are small
+//! integers handed out in first-use order — the main thread is usually 0,
+//! pool workers follow in spawn order.
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::ring::{TraceRing, DEFAULT_CAPACITY};
+
+/// One trace-event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with enough digits to round-trip).
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! arg_from {
+    ($($t:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self { ArgValue::$variant(v as $conv) }
+        })+
+    };
+}
+arg_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+          i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What kind of trace event a record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span: `ts_us` is the start, `dur_us` the duration
+    /// (trace-event phase `"X"`).
+    Complete,
+    /// A point-in-time event (trace-event phase `"i"`).
+    Instant,
+}
+
+/// One recorded event, as stored in the per-thread rings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (`"fold"`, `"epoch"`, …).
+    pub name: &'static str,
+    /// Category — the emitting layer (`"train"`, `"runtime"`, `"eval"`, …).
+    pub cat: &'static str,
+    /// Complete span or instant.
+    pub kind: EventKind,
+    /// Microseconds since the trace epoch (span start for completes).
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Small integer thread id, first-use order.
+    pub tid: u64,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+struct Collector {
+    epoch: Instant,
+    rings: Mutex<Vec<Arc<TraceRing>>>,
+    next_tid: AtomicU64,
+    capacity: AtomicUsize,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: Instant::now(),
+        rings: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(0),
+        capacity: AtomicUsize::new(DEFAULT_CAPACITY),
+    })
+}
+
+thread_local! {
+    static LOCAL_RING: OnceCell<Arc<TraceRing>> = const { OnceCell::new() };
+}
+
+/// Microseconds since the trace epoch.
+pub fn now_us() -> u64 {
+    collector().epoch.elapsed().as_micros() as u64
+}
+
+/// Turn tracing on with the default per-thread ring capacity.
+pub fn enable() {
+    enable_with_capacity(DEFAULT_CAPACITY);
+}
+
+/// Turn tracing on; threads that record their *first* event after this call
+/// get rings of `capacity` slots (already-registered rings keep theirs).
+pub fn enable_with_capacity(capacity: usize) {
+    collector()
+        .capacity
+        .store(capacity.max(1), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn tracing off. Spans already open still record when dropped; new
+/// [`span!`](crate::span)/[`instant!`](crate::instant) sites become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently enabled (one relaxed load — this is the
+/// whole disabled-path cost of a span site).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Total events dropped so far because some thread's ring was full.
+pub fn dropped() -> u64 {
+    let Some(c) = COLLECTOR.get() else { return 0 };
+    let rings = c.rings.lock().expect("ring registry poisoned");
+    rings.iter().map(|r| r.dropped()).sum()
+}
+
+fn push(event: TraceEvent) {
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let c = collector();
+            let ring = Arc::new(TraceRing::new(
+                c.next_tid.fetch_add(1, Ordering::Relaxed),
+                c.capacity.load(Ordering::Relaxed),
+            ));
+            c.rings
+                .lock()
+                .expect("ring registry poisoned")
+                .push(Arc::clone(&ring));
+            ring
+        });
+        let mut event = event;
+        event.tid = ring.tid();
+        ring.push(event);
+    });
+}
+
+/// Drain every thread's ring and return the events sorted by timestamp.
+/// Safe to call while producers are still recording: each event is either
+/// fully drained now or fully drained by a later call, never torn.
+pub fn drain() -> Vec<TraceEvent> {
+    let Some(c) = COLLECTOR.get() else {
+        return Vec::new();
+    };
+    let rings: Vec<Arc<TraceRing>> = c.rings.lock().expect("ring registry poisoned").clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        ring.drain_into(&mut out);
+    }
+    out.sort_by_key(|e| (e.ts_us, e.tid, e.dur_us));
+    out
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_event(e: &TraceEvent, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},",
+        e.name,
+        e.cat,
+        match e.kind {
+            EventKind::Complete => "X",
+            EventKind::Instant => "i",
+        },
+        e.ts_us,
+    ));
+    match e.kind {
+        EventKind::Complete => out.push_str(&format!("\"dur\":{},", e.dur_us)),
+        EventKind::Instant => out.push_str("\"s\":\"t\","),
+    }
+    out.push_str(&format!("\"pid\":1,\"tid\":{}", e.tid));
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(k, out);
+            out.push_str("\":");
+            match v {
+                ArgValue::U64(x) => out.push_str(&x.to_string()),
+                ArgValue::I64(x) => out.push_str(&x.to_string()),
+                ArgValue::F64(x) => {
+                    if x.is_finite() {
+                        out.push_str(&format!("{x:?}"))
+                    } else {
+                        out.push_str(&format!("\"{x}\""))
+                    }
+                }
+                ArgValue::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+                ArgValue::Str(s) => {
+                    out.push('"');
+                    escape_json(s, out);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Render events as a Chrome trace-event JSON array, one event per line —
+/// a file `chrome://tracing` and Perfetto open directly, and that any JSON
+/// parser accepts whole.
+pub fn render_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        render_event(e, &mut out);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Drain the collector and write the trace to `path`; returns the number of
+/// events written.
+pub fn write_json(path: &std::path::Path) -> std::io::Result<usize> {
+    let events = drain();
+    std::fs::write(path, render_json(&events))?;
+    Ok(events.len())
+}
+
+/// The recording facade. `Recorder::current()` snapshots the global
+/// enabled flag once; every operation on a disabled recorder is a no-op
+/// that takes no timestamp and allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct Recorder {
+    on: bool,
+}
+
+impl Recorder {
+    /// A recorder reflecting the global tracing flag right now.
+    #[inline]
+    pub fn current() -> Self {
+        Recorder { on: enabled() }
+    }
+
+    /// A recorder that never records, regardless of the global flag.
+    #[inline]
+    pub const fn disabled() -> Self {
+        Recorder { on: false }
+    }
+
+    /// Whether this recorder records. Use to skip argument construction.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Open a span; prefer the [`span!`](crate::span) macro, which builds
+    /// `args` lazily.
+    pub fn span(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> SpanGuard {
+        if !self.on {
+            return SpanGuard { rec: None };
+        }
+        SpanGuard {
+            rec: Some(TraceEvent {
+                name,
+                cat,
+                kind: EventKind::Complete,
+                ts_us: now_us(),
+                dur_us: 0,
+                tid: 0, // stamped at push time
+                args,
+            }),
+        }
+    }
+
+    /// Record an instant event; prefer the [`instant!`](crate::instant)
+    /// macro, which builds `args` lazily.
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.on {
+            return;
+        }
+        push(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            ts_us: now_us(),
+            dur_us: 0,
+            tid: 0,
+            args,
+        });
+    }
+}
+
+/// An open span. Dropping it records a complete event covering the guard's
+/// lifetime. A guard from a disabled recorder does nothing, forever.
+#[derive(Debug)]
+#[must_use = "a span records when the guard is dropped"]
+pub struct SpanGuard {
+    rec: Option<TraceEvent>,
+}
+
+impl SpanGuard {
+    /// Attach an argument to the span (no-op, allocation-free on a disabled
+    /// guard — but prefer passing cheap values; build strings only behind
+    /// [`SpanGuard::is_enabled`]).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(rec) = &mut self.rec {
+            rec.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard will record (mirrors the recorder it came from).
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(mut rec) = self.rec.take() {
+            rec.dur_us = now_us().saturating_sub(rec.ts_us);
+            push(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace tests share the process-global collector; serialize them.
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_emits_nothing() {
+        let _g = locked();
+        disable();
+        let _ = drain();
+        {
+            let mut s = Recorder::current().span("t", "quiet", Vec::new());
+            s.arg("k", 1u64);
+            assert!(!s.is_enabled());
+        }
+        Recorder::disabled().instant("t", "quiet", Vec::new());
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_and_instants_round_trip_through_the_collector() {
+        let _g = locked();
+        let _ = drain();
+        enable();
+        {
+            let mut s = crate::span!("t", "outer", n = 3usize);
+            s.arg("extra", "hi");
+            crate::instant!("t", "tick", v = 1.5f64);
+        }
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        let tick = events.iter().find(|e| e.name == "tick").expect("tick");
+        assert_eq!(tick.kind, EventKind::Instant);
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer");
+        assert_eq!(outer.kind, EventKind::Complete);
+        assert_eq!(outer.args[0], ("n", ArgValue::U64(3)));
+        assert_eq!(outer.args[1], ("extra", ArgValue::Str("hi".into())));
+        // the instant happened inside the span's lifetime
+        assert!(tick.ts_us >= outer.ts_us);
+        assert!(tick.ts_us <= outer.ts_us + outer.dur_us);
+    }
+
+    #[test]
+    fn rendered_json_is_loadable_shape() {
+        let events = vec![
+            TraceEvent {
+                name: "fold",
+                cat: "eval",
+                kind: EventKind::Complete,
+                ts_us: 10,
+                dur_us: 25,
+                tid: 2,
+                args: vec![
+                    ("lang", ArgValue::Str("C\"\\".into())),
+                    ("idx", ArgValue::U64(4)),
+                    ("ok", ArgValue::Bool(true)),
+                    ("rate", ArgValue::F64(0.25)),
+                ],
+            },
+            TraceEvent {
+                name: "tick",
+                cat: "t",
+                kind: EventKind::Instant,
+                ts_us: 12,
+                dur_us: 0,
+                tid: 0,
+                args: Vec::new(),
+            },
+        ];
+        let json = render_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""dur":25"#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""s":"t""#));
+        assert!(json.contains(r#""lang":"C\"\\""#));
+        assert!(json.contains(r#""rate":0.25"#));
+        // two lines per event plus the brackets
+        assert_eq!(json.lines().count(), 4);
+    }
+
+    #[test]
+    fn arg_value_conversions() {
+        assert_eq!(ArgValue::from(3u32), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(-2i32), ArgValue::I64(-2));
+        assert_eq!(ArgValue::from(7usize), ArgValue::U64(7));
+        assert_eq!(ArgValue::from("x"), ArgValue::Str("x".into()));
+        assert_eq!(ArgValue::from(true), ArgValue::Bool(true));
+    }
+}

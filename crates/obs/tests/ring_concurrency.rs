@@ -1,0 +1,142 @@
+//! Concurrency tests for the trace ring: producers racing a drainer must
+//! never tear an event, lose a counted one, or reorder a thread's stream.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use esp_obs::ring::TraceRing;
+use esp_obs::trace::{EventKind, TraceEvent};
+use esp_obs::ArgValue;
+
+fn ev(tid: u64, seq: u64) -> TraceEvent {
+    TraceEvent {
+        name: "race",
+        cat: "test",
+        kind: EventKind::Instant,
+        ts_us: seq,
+        dur_us: seq.wrapping_mul(3), // redundant encoding: torn writes show up
+        tid,
+        args: vec![("seq", ArgValue::U64(seq))],
+    }
+}
+
+fn check_not_torn(e: &TraceEvent) -> u64 {
+    assert_eq!(e.name, "race");
+    assert_eq!(e.cat, "test");
+    assert_eq!(e.dur_us, e.ts_us.wrapping_mul(3), "event fields torn apart");
+    match e.args.as_slice() {
+        [("seq", ArgValue::U64(s))] => {
+            assert_eq!(*s, e.ts_us, "args belong to a different event");
+            *s
+        }
+        other => panic!("unexpected args {other:?}"),
+    }
+}
+
+/// One producer hammers the ring while the consumer drains concurrently.
+/// Every drained event must be whole and in push order, and pushes + drops
+/// must account for every attempt.
+#[test]
+fn producer_races_drainer_without_tearing() {
+    const PUSHES: u64 = 50_000;
+    let ring = Arc::new(TraceRing::new(9, 64)); // small: forces wraparound + drops
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producer = {
+        let ring = Arc::clone(&ring);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            for seq in 0..PUSHES {
+                if ring.push(ev(9, seq)) {
+                    accepted += 1;
+                }
+            }
+            done.store(true, Ordering::Release);
+            accepted
+        })
+    };
+
+    let mut drained: Vec<TraceEvent> = Vec::new();
+    while !done.load(Ordering::Acquire) {
+        ring.drain_into(&mut drained);
+    }
+    ring.drain_into(&mut drained); // pick up the tail published before `done`
+
+    let accepted = producer.join().expect("producer finished");
+    assert_eq!(drained.len() as u64, accepted, "accepted events all drained");
+    assert_eq!(accepted + ring.dropped(), PUSHES, "every push accounted for");
+    assert!(accepted > 0, "some pushes must land");
+
+    let mut prev = None;
+    for e in &drained {
+        let seq = check_not_torn(e);
+        if let Some(p) = prev {
+            assert!(seq > p, "drain preserves push order ({seq} after {p})");
+        }
+        prev = Some(seq);
+    }
+}
+
+/// Many threads emit spans through the collector while the main thread
+/// drains concurrently; the union of all drains plus the dropped count must
+/// cover every span, with per-thread streams intact.
+#[test]
+fn collector_drain_races_span_writers() {
+    const THREADS: usize = 4;
+    const SPANS: u64 = 2_000;
+    esp_obs::trace::enable_with_capacity(1024);
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for seq in 0..SPANS {
+                    let mut sp = esp_obs::span!("test", "worker_span", writer = w);
+                    sp.arg("seq", seq);
+                }
+            })
+        })
+        .collect();
+
+    let mut drained: Vec<TraceEvent> = Vec::new();
+    while writers.iter().any(|w| !w.is_finished()) {
+        drained.extend(esp_obs::trace::drain());
+    }
+    for w in writers {
+        w.join().expect("writer finished");
+    }
+    drained.extend(esp_obs::trace::drain());
+    esp_obs::trace::disable();
+
+    let expected = (THREADS as u64) * SPANS;
+    assert_eq!(
+        drained.len() as u64 + esp_obs::trace::dropped(),
+        expected,
+        "drained + dropped covers every span"
+    );
+    assert!(!drained.is_empty(), "concurrent drains saw events");
+    // Each thread emits every seq exactly once; a torn or duplicated event
+    // would break the per-writer seq sets.
+    let mut seen: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+        std::collections::HashMap::new();
+    for e in &drained {
+        assert_eq!(e.name, "worker_span");
+        assert_eq!(e.cat, "test");
+        assert!(matches!(e.kind, EventKind::Complete));
+        assert_eq!(e.args.len(), 2, "both args survived: {:?}", e.args);
+        let writer = match e.args.iter().find(|(k, _)| *k == "writer") {
+            Some((_, ArgValue::U64(w))) => *w,
+            other => panic!("missing writer arg: {other:?}"),
+        };
+        let seq = match e.args.iter().find(|(k, _)| *k == "seq") {
+            Some((_, ArgValue::U64(s))) => *s,
+            other => panic!("missing seq arg: {other:?}"),
+        };
+        assert!(writer < THREADS as u64);
+        assert!(seq < SPANS);
+        assert!(
+            seen.entry(writer).or_default().insert(seq),
+            "writer {writer} seq {seq} drained twice"
+        );
+    }
+}

@@ -13,7 +13,35 @@
 //!   identical to serial ones.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use esp_obs::{span, Counter, Gauge, Log2Histogram};
+
+/// Cached handles into the global metrics registry so a parallel region
+/// costs one `OnceLock` load instead of a registry lookup.
+struct PoolMetrics {
+    regions: std::sync::Arc<Counter>,
+    tasks: std::sync::Arc<Counter>,
+    worker_busy_us: std::sync::Arc<Counter>,
+    task_run_us: std::sync::Arc<Log2Histogram>,
+    task_wait_us: std::sync::Arc<Log2Histogram>,
+    queue_depth: std::sync::Arc<Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = esp_obs::global_metrics();
+        PoolMetrics {
+            regions: r.counter("esp_runtime_regions_total"),
+            tasks: r.counter("esp_runtime_tasks_total"),
+            worker_busy_us: r.counter("esp_runtime_worker_busy_us_total"),
+            task_run_us: r.histogram("esp_runtime_task_run_us"),
+            task_wait_us: r.histogram("esp_runtime_task_wait_us"),
+            queue_depth: r.gauge("esp_runtime_queue_depth"),
+        }
+    })
+}
 
 /// Resolve a `threads` knob: `0` means one worker per available core.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -35,21 +63,58 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let t = resolve_threads(threads).min(n.max(1));
+    let pm = pool_metrics();
+    pm.regions.inc();
+    pm.tasks.add(n as u64);
+    pm.queue_depth.set(n as f64);
+    let _region = span!("runtime", "parallel_map", n = n, threads = t);
     if t <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let out = if _region.is_enabled() {
+            (0..n)
+                .map(|i| {
+                    let t0 = esp_obs::trace::now_us();
+                    let r = f(i);
+                    pm.task_run_us
+                        .record(esp_obs::trace::now_us().saturating_sub(t0));
+                    r
+                })
+                .collect()
+        } else {
+            (0..n).map(f).collect()
+        };
+        pm.queue_depth.set(0.0);
+        return out;
     }
+    let traced = _region.is_enabled();
+    let region_t0 = if traced { esp_obs::trace::now_us() } else { 0 };
     let cursor = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..t)
             .map(|_| {
                 s.spawn(|| {
+                    let mut worker = span!("runtime", "worker");
                     let mut out = Vec::new();
+                    let mut busy_us = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        if traced {
+                            let t0 = esp_obs::trace::now_us();
+                            pm.task_wait_us.record(t0.saturating_sub(region_t0));
+                            out.push((i, f(i)));
+                            let dt = esp_obs::trace::now_us().saturating_sub(t0);
+                            pm.task_run_us.record(dt);
+                            busy_us += dt;
+                        } else {
+                            out.push((i, f(i)));
+                        }
+                    }
+                    if traced {
+                        pm.worker_busy_us.add(busy_us);
+                        worker.arg("items", out.len());
+                        worker.arg("busy_us", busy_us);
                     }
                     out
                 })
@@ -60,6 +125,7 @@ where
             .map(|h| h.join().expect("pool worker panicked"))
             .collect()
     });
+    pm.queue_depth.set(0.0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in per_worker.into_iter().flatten() {
         slots[i] = Some(r);
@@ -94,23 +160,44 @@ where
     F: Fn(I::Item) + Sync,
 {
     let t = resolve_threads(threads);
+    let pm = pool_metrics();
+    pm.regions.inc();
+    let _region = span!("runtime", "parallel_drain", threads = t);
+    let traced = _region.is_enabled();
     let jobs = Mutex::new(jobs);
-    let run = |jobs: &Mutex<I>| loop {
-        let job = jobs.lock().expect("job feed poisoned").next();
-        match job {
-            Some(j) => f(j),
-            None => break,
+    let run = |jobs: &Mutex<I>| {
+        let mut count = 0u64;
+        loop {
+            let job = jobs.lock().expect("job feed poisoned").next();
+            match job {
+                Some(j) => {
+                    if traced {
+                        let t0 = esp_obs::trace::now_us();
+                        f(j);
+                        pm.task_run_us
+                            .record(esp_obs::trace::now_us().saturating_sub(t0));
+                    } else {
+                        f(j);
+                    }
+                    count += 1;
+                }
+                None => break,
+            }
         }
+        count
     };
-    if t <= 1 {
-        run(&jobs);
-        return;
-    }
-    std::thread::scope(|s| {
-        for _ in 0..t {
-            s.spawn(|| run(&jobs));
-        }
-    });
+    let total = if t <= 1 {
+        run(&jobs)
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..t).map(|_| s.spawn(|| run(&jobs))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .sum()
+        })
+    };
+    pm.tasks.add(total);
 }
 
 /// Ordered pairwise tree reduction: `[a, b, c, d, e]` reduces as

@@ -8,15 +8,19 @@
 //! esp-client bench     [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]
 //!                      [--requests N] [--batch N] [--keys N] [--seed S]
 //!                      [--out PATH] [--quick] [--threads N] [--cache N]
+//!                      [--trace-out FILE] [--metrics-out FILE]
 //! esp-client registry  (list | inspect --name M [--model-version V] | gc --name M --keep K)
 //!                      --dir DIR
 //! ```
 //!
 //! `bench` without `--addr` spawns an in-process server on an ephemeral
 //! loopback port (from `--model`, or a synthetic artifact by default), runs
-//! the deterministic load generator against it, shuts it down, and writes
-//! the report to `--out` (default `BENCH_serve.json`). `--quick` shrinks the
-//! run for CI.
+//! the deterministic load generator against it, shuts it down, writes the
+//! report to `--out` (default `BENCH_serve.json`), and prints a one-line
+//! summary with the histogram's p50/p90/p99. `--quick` shrinks the run for
+//! CI. `--trace-out` records client-side spans into a Perfetto-loadable
+//! trace; `--metrics-out` saves the server's metrics text exposition (as
+//! carried by the final `STATS` reply).
 
 use std::path::Path;
 
@@ -82,6 +86,7 @@ fn main() {
                  \x20      esp-client bench [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]\n\
                  \x20                       [--requests N] [--batch N] [--keys N] [--seed S]\n\
                  \x20                       [--out PATH] [--quick] [--threads N] [--cache N]\n\
+                 \x20                       [--trace-out FILE] [--metrics-out FILE]\n\
                  \x20      esp-client registry (list | inspect --name M [--model-version V] | gc --name M --keep K) --dir DIR"
             );
             std::process::exit(2);
@@ -91,6 +96,11 @@ fn main() {
 
 fn bench(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
+    let trace_out = flag_value(args, "--trace-out").map(std::path::PathBuf::from);
+    let metrics_out = flag_value(args, "--metrics-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        esp_obs::trace::enable();
+    }
     let defaults = LoadGenConfig::default();
     let cfg = LoadGenConfig {
         requests: flag_value(args, "--requests")
@@ -152,14 +162,18 @@ fn bench(args: &[String]) {
 
     loadgen::write_json(&report, Path::new(out))
         .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
-    eprintln!(
-        "{:.0} req/s, {:.0} rows/s; p50 {:.3} ms, p99 {:.3} ms; cache hit rate {:.3}",
-        report.throughput_rps,
-        report.predictions_per_sec,
-        report.p50_ms,
-        report.p99_ms,
-        report.cache_hit_rate
-    );
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, &report.server.exposition)
+            .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
+        eprintln!("wrote metrics exposition to {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        match esp_obs::trace::write_json(path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    println!("{}", report.summary_line());
     println!("wrote {out}");
 }
 

@@ -11,6 +11,11 @@
 //! printed either way). `--threads 0` (default) uses one worker per core for
 //! large batches; `--cache` is the LRU capacity in entries (`0` disables).
 //! The process runs until a client sends `SHUTDOWN` (see `esp-client`).
+//!
+//! Observability: `--trace-out FILE` enables span tracing and writes a
+//! Perfetto-loadable trace on shutdown; `--metrics-out FILE` writes the
+//! server's Prometheus text exposition on shutdown (it is also served live
+//! by the `STATS` opcode).
 
 use esp_artifact::{ModelArtifact, Registry};
 use esp_serve::{serve, ServeConfig};
@@ -71,9 +76,15 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: esp-serve (--model PATH | --registry DIR --name M [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
-             \x20                [--addr HOST:PORT] [--threads N] [--cache N]"
+             \x20                [--addr HOST:PORT] [--threads N] [--cache N]\n\
+             \x20                [--trace-out FILE] [--metrics-out FILE]"
         );
         return;
+    }
+    let trace_out = flag_value(&args, "--trace-out").map(std::path::PathBuf::from);
+    let metrics_out = flag_value(&args, "--metrics-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        esp_obs::trace::enable();
     }
     let artifact = load_artifact(&args);
     let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7871");
@@ -82,7 +93,7 @@ fn main() {
         cache_capacity: flag_value(&args, "--cache").map_or(4096, |v| parse(v, "--cache")),
     };
 
-    let handle = match serve(&artifact, addr, &cfg) {
+    let mut handle = match serve(&artifact, addr, &cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -99,6 +110,18 @@ fn main() {
         esp_artifact::FORMAT_VERSION,
         handle.addr(),
     );
-    handle.join();
+    handle.wait();
+    if let Some(path) = &metrics_out {
+        match std::fs::write(path, handle.metrics_text()) {
+            Ok(()) => eprintln!("wrote metrics exposition to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &trace_out {
+        match esp_obs::trace::write_json(path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
     eprintln!("esp-serve: shut down cleanly");
 }

@@ -13,8 +13,10 @@
 //!   the `esp-runtime` pool, and graceful shutdown.
 //! - [`cache`] — an exact-match LRU keyed on the raw feature bits, so
 //!   repeated branch shapes skip the network forward pass.
-//! - [`metrics`] — lock-free counters and a log-bucketed latency histogram
-//!   behind the `STATS` opcode.
+//! - [`metrics`] — an [`esp_obs::MetricsRegistry`]-backed set of counters,
+//!   latency/batch-size histograms and a cache-hit-ratio gauge behind the
+//!   `STATS` opcode, which also serves the full Prometheus-style text
+//!   exposition.
 //! - [`client`] — the blocking client library used by the `esp-client`
 //!   binary and the integration tests.
 //! - [`loadgen`] — a deterministic load generator that writes

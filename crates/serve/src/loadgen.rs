@@ -59,18 +59,41 @@ pub struct LoadGenReport {
     pub p99_ms: f64,
     /// Worst round-trip latency, milliseconds.
     pub max_ms: f64,
+    /// Histogram-estimated p50, microseconds (from the shared
+    /// [`esp_obs::Log2Histogram`] the run records into).
+    pub hist_p50_us: u64,
+    /// Histogram-estimated p90, microseconds.
+    pub hist_p90_us: u64,
+    /// Histogram-estimated p99, microseconds.
+    pub hist_p99_us: u64,
     /// Server-side cache hit rate over the run's rows.
     pub cache_hit_rate: f64,
     /// Server counters at the end of the run.
     pub server: StatsSnapshot,
 }
 
-fn exact_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
+impl LoadGenReport {
+    /// The one-line human summary `esp-client bench` prints: throughput
+    /// plus the histogram's quantile estimates.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "bench: {} requests x {} rows in {:.0} ms | {:.0} req/s, {:.0} rows/s | \
+             latency p50 {} us, p90 {} us, p99 {} us (histogram) | cache hit rate {:.1}%",
+            self.cfg.requests,
+            self.cfg.batch,
+            self.elapsed_ms,
+            self.throughput_rps,
+            self.predictions_per_sec,
+            self.hist_p50_us,
+            self.hist_p90_us,
+            self.hist_p99_us,
+            self.cache_hit_rate * 100.0,
+        )
     }
-    let rank = ((sorted_us.len() as f64) * q).ceil() as usize;
-    sorted_us[rank.clamp(1, sorted_us.len()) - 1] as f64 / 1e3
+}
+
+fn exact_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    esp_obs::exact_quantile(sorted_us, q) as f64 / 1e3
 }
 
 /// Build the deterministic key pool: `keys` synthetic rows of width `dim`.
@@ -95,15 +118,19 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
     let before = client.stats()?;
     let mut seq = Pcg32::seed_from_u64(cfg.seed.wrapping_add(1));
     let mut latencies_us: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let hist = esp_obs::Log2Histogram::new();
 
     let run_start = std::time::Instant::now();
     for _ in 0..cfg.requests {
         let batch: Vec<PredictRow> = (0..cfg.batch)
             .map(|_| pool[seq.gen_range(0..pool.len())].clone())
             .collect();
+        let _sp = esp_obs::span!("client", "predict", rows = cfg.batch);
         let sent = std::time::Instant::now();
         let preds = client.predict(batch)?;
-        latencies_us.push(sent.elapsed().as_micros() as u64);
+        let us = sent.elapsed().as_micros() as u64;
+        latencies_us.push(us);
+        hist.record(us);
         debug_assert_eq!(preds.len(), cfg.batch);
     }
     let elapsed = run_start.elapsed();
@@ -124,6 +151,9 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
         p50_ms: exact_quantile_ms(&latencies_us, 0.50),
         p99_ms: exact_quantile_ms(&latencies_us, 0.99),
         max_ms: latencies_us.last().copied().unwrap_or(0) as f64 / 1e3,
+        hist_p50_us: hist.quantile(0.50),
+        hist_p90_us: hist.quantile(0.90),
+        hist_p99_us: hist.quantile(0.99),
         cache_hit_rate: if run_rows == 0 {
             0.0
         } else {
@@ -150,6 +180,9 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!("  \"p50_ms\": {:.3},\n", r.p50_ms));
     s.push_str(&format!("  \"p99_ms\": {:.3},\n", r.p99_ms));
     s.push_str(&format!("  \"max_ms\": {:.3},\n", r.max_ms));
+    s.push_str(&format!("  \"hist_p50_us\": {},\n", r.hist_p50_us));
+    s.push_str(&format!("  \"hist_p90_us\": {},\n", r.hist_p90_us));
+    s.push_str(&format!("  \"hist_p99_us\": {},\n", r.hist_p99_us));
     s.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", r.cache_hit_rate));
     s.push_str("  \"server\": {\n");
     s.push_str(&format!(
@@ -224,6 +257,9 @@ mod tests {
             p50_ms: 1.2,
             p99_ms: 4.5,
             max_ms: 9.0,
+            hist_p50_us: 2047,
+            hist_p90_us: 4095,
+            hist_p99_us: 8191,
             cache_hit_rate: 0.82,
             server: StatsSnapshot::default(),
         };
@@ -234,9 +270,13 @@ mod tests {
             "\"predictions_per_sec\"",
             "\"p50_ms\"",
             "\"p99_ms\"",
+            "\"hist_p90_us\"",
             "\"cache_hit_rate\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        let line = r.summary_line();
+        assert!(line.contains("p90 4095 us"));
+        assert!(line.contains("500 requests"));
     }
 }

@@ -1,50 +1,74 @@
-//! Lock-free server metrics: monotonic counters plus a log-bucketed latency
-//! histogram, all plain atomics so the hot predict path never takes a lock
-//! to account for itself.
+//! Server metrics, backed by an [`esp_obs::MetricsRegistry`].
 //!
-//! Latencies land in bucket `bit_length(us)` (so bucket `i` spans
-//! `[2^(i-1), 2^i)` microseconds); p50/p99 are read back as the upper bound
-//! of the first bucket whose cumulative count crosses the quantile — an
-//! approximation that is always within 2× of the true value, which is
-//! plenty for a `STATS` counter (the load generator computes exact
-//! client-side quantiles separately).
+//! Every series lives in a **per-server** registry (concurrent servers in
+//! one process must not share counters), registered once at startup and
+//! recorded through cached `Arc` handles, so the hot predict path never
+//! takes the registry lock. The `STATS` opcode serves both the nine summary
+//! counters and the registry's full Prometheus text exposition.
+//!
+//! Two latency series with different scopes:
+//!
+//! * `esp_serve_request_us` — per-request **end-to-end** service time as a
+//!   client sees it: frame decode, cache lookups, compute, response encode
+//!   and write, for every opcode. This is what the snapshot's p50/p99/max
+//!   report.
+//! * `esp_serve_predict_compute_us` — the old, narrower series: just the
+//!   predict handler (cache passes + network forward), kept for comparing
+//!   compute cost against the full service time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use esp_obs::{Counter, Gauge, Log2Histogram, MetricsRegistry};
 
 use crate::protocol::StatsSnapshot;
 
-const BUCKETS: usize = 64;
-
-/// Shared server metrics; every field is independently atomic.
+/// Shared server metrics; recording goes through lock-free atomic handles.
 #[derive(Debug)]
 pub struct Metrics {
+    registry: MetricsRegistry,
     /// Connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
     /// Frames handled (all opcodes).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// PREDICT batches handled.
-    pub predict_requests: AtomicU64,
+    pub predict_requests: Arc<Counter>,
     /// Rows predicted.
-    pub predictions: AtomicU64,
+    pub predictions: Arc<Counter>,
     /// Rows served from cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Rows computed by the network.
-    pub cache_misses: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
-    max_us: AtomicU64,
+    pub cache_misses: Arc<Counter>,
+    request_us: Arc<Log2Histogram>,
+    predict_compute_us: Arc<Log2Histogram>,
+    batch_size: Arc<Log2Histogram>,
+    cache_hit_ratio: Arc<Gauge>,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let connections = registry.counter("esp_serve_connections_total");
+        let requests = registry.counter("esp_serve_requests_total");
+        let predict_requests = registry.counter("esp_serve_predict_requests_total");
+        let predictions = registry.counter("esp_serve_predictions_total");
+        let cache_hits = registry.counter("esp_serve_cache_hits_total");
+        let cache_misses = registry.counter("esp_serve_cache_misses_total");
+        let request_us = registry.histogram("esp_serve_request_us");
+        let predict_compute_us = registry.histogram("esp_serve_predict_compute_us");
+        let batch_size = registry.histogram("esp_serve_batch_size");
+        let cache_hit_ratio = registry.gauge("esp_serve_cache_hit_ratio");
         Metrics {
-            connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            predict_requests: AtomicU64::new(0),
-            predictions: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            max_us: AtomicU64::new(0),
+            registry,
+            connections,
+            requests,
+            predict_requests,
+            predictions,
+            cache_hits,
+            cache_misses,
+            request_us,
+            predict_compute_us,
+            batch_size,
+            cache_hit_ratio,
         }
     }
 }
@@ -55,47 +79,53 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Record one PREDICT handling latency in microseconds.
-    pub fn record_latency(&self, us: u64) {
-        let bucket = (64 - us.leading_zeros()) as usize; // bit length; 0 → 0
-        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
+    /// Record one request's end-to-end service time (any opcode), in
+    /// microseconds: from the frame completing to the response written.
+    pub fn record_request_us(&self, us: u64) {
+        self.request_us.record(us);
     }
 
-    fn quantile_us(counts: &[u64; BUCKETS], q: f64) -> u64 {
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
+    /// Record the predict handler's compute-scoped latency in microseconds
+    /// (the series previously reported as the only latency).
+    pub fn record_predict_compute_us(&self, us: u64) {
+        self.predict_compute_us.record(us);
+    }
+
+    /// Record one predict batch's row count.
+    pub fn record_batch_size(&self, rows: u64) {
+        self.batch_size.record(rows);
+    }
+
+    /// Refresh the cache-hit-ratio gauge from the hit/miss counters.
+    pub fn update_cache_hit_ratio(&self) {
+        let hits = self.cache_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total > 0 {
+            self.cache_hit_ratio.set(hits as f64 / total as f64);
         }
-        let target = ((total as f64) * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // upper bound of bucket i = 2^i − 1 (bucket 0 is exactly 0)
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
-            }
-        }
-        u64::MAX
+    }
+
+    /// The full Prometheus text exposition of this server's registry.
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
     }
 
     /// A consistent-enough snapshot of every counter (individual loads are
-    /// atomic; the set is not, which is fine for monitoring).
+    /// atomic; the set is not, which is fine for monitoring). Latency
+    /// quantiles summarize the end-to-end `esp_serve_request_us` series.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut counts = [0u64; BUCKETS];
-        for (c, b) in counts.iter_mut().zip(&self.latency_buckets) {
-            *c = b.load(Ordering::Relaxed);
-        }
+        self.update_cache_hit_ratio();
         StatsSnapshot {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            predict_requests: self.predict_requests.load(Ordering::Relaxed),
-            predictions: self.predictions.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            p50_us: Self::quantile_us(&counts, 0.50),
-            p99_us: Self::quantile_us(&counts, 0.99),
-            max_us: self.max_us.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            predict_requests: self.predict_requests.get(),
+            predictions: self.predictions.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            p50_us: self.request_us.quantile(0.50),
+            p99_us: self.request_us.quantile(0.99),
+            max_us: self.request_us.max(),
+            exposition: self.render_text(),
         }
     }
 }
@@ -108,14 +138,19 @@ mod tests {
     fn empty_metrics_snapshot_is_zero() {
         let m = Metrics::new();
         let s = m.snapshot();
-        assert_eq!(s, StatsSnapshot::default());
+        assert_eq!(s.connections, 0);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.predictions, 0);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (0, 0, 0));
+        // the exposition is present even when everything is zero
+        assert!(s.exposition.contains("esp_serve_requests_total 0"));
     }
 
     #[test]
     fn latency_quantiles_bracket_the_data() {
         let m = Metrics::new();
         for us in [10u64, 12, 14, 900, 1000] {
-            m.record_latency(us);
+            m.record_request_us(us);
         }
         let s = m.snapshot();
         // p50 falls in the bucket holding 10–14 µs → upper bound 15
@@ -128,7 +163,30 @@ mod tests {
     #[test]
     fn zero_latency_lands_in_bucket_zero() {
         let m = Metrics::new();
-        m.record_latency(0);
+        m.record_request_us(0);
         assert_eq!(m.snapshot().p50_us, 0);
+    }
+
+    #[test]
+    fn compute_series_is_separate_from_request_series() {
+        let m = Metrics::new();
+        m.record_request_us(1000);
+        m.record_predict_compute_us(10);
+        let text = m.render_text();
+        assert!(text.contains("esp_serve_request_us_count 1"));
+        assert!(text.contains("esp_serve_predict_compute_us_count 1"));
+        assert!(text.contains("esp_serve_predict_compute_us_sum 10"));
+        assert!(text.contains("esp_serve_request_us_sum 1000"));
+    }
+
+    #[test]
+    fn cache_hit_ratio_tracks_counters() {
+        let m = Metrics::new();
+        m.cache_hits.add(3);
+        m.cache_misses.add(1);
+        m.record_batch_size(4);
+        let s = m.snapshot();
+        assert!(s.exposition.contains("esp_serve_cache_hit_ratio 0.75"));
+        assert!(s.exposition.contains("esp_serve_batch_size_count 1"));
     }
 }

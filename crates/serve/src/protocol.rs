@@ -18,8 +18,9 @@
 //! Responses start with a one-byte status (`0` ok, `1` error). An error
 //! carries a UTF-8 message; an ok body depends on the request:
 //! PREDICT → `u32 n` then `n × (f64 prob, u8 taken)`; STATS → the nine
-//! [`StatsSnapshot`] counters as `u64`s; INFO → model facts; SHUTDOWN → an
-//! empty acknowledgement.
+//! [`StatsSnapshot`] counters as `u64`s followed by the server's metrics
+//! text exposition as a length-prefixed string; INFO → model facts;
+//! SHUTDOWN → an empty acknowledgement.
 
 use std::io::{Read, Write};
 
@@ -199,7 +200,7 @@ pub struct Prediction {
 }
 
 /// Server metrics counters, as served by a STATS request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Connections accepted since startup.
     pub connections: u64,
@@ -213,12 +214,15 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Rows computed by the network.
     pub cache_misses: u64,
-    /// Approximate median PREDICT handling latency, microseconds.
+    /// Approximate median end-to-end request service time, microseconds.
     pub p50_us: u64,
-    /// Approximate 99th-percentile PREDICT handling latency, microseconds.
+    /// Approximate 99th-percentile end-to-end service time, microseconds.
     pub p99_us: u64,
-    /// Worst PREDICT handling latency, microseconds.
+    /// Worst end-to-end service time, microseconds.
     pub max_us: u64,
+    /// The server's full Prometheus-style text exposition (every counter,
+    /// gauge and histogram of its metrics registry).
+    pub exposition: String,
 }
 
 impl StatsSnapshot {
@@ -395,6 +399,7 @@ impl Response {
                 ] {
                     w.u64(v);
                 }
+                w.str(&s.exposition);
             }
             Response::Info(i) => {
                 w.u8(ST_OK);
@@ -448,6 +453,7 @@ impl Response {
                 p50_us: r.u64()?,
                 p99_us: r.u64()?,
                 max_us: r.u64()?,
+                exposition: r.str()?,
             }),
             RESP_INFO => Response::Info(ServerInfo {
                 dim: r.u32()?,
@@ -535,6 +541,9 @@ mod tests {
                 p50_us: 120,
                 p99_us: 900,
                 max_us: 1500,
+                exposition: "# TYPE esp_serve_requests_total counter\n\
+                             esp_serve_requests_total 9\n"
+                    .into(),
             }),
             Response::Info(ServerInfo {
                 dim: 155,

@@ -98,10 +98,7 @@ pub fn serve(
                 break;
             }
             let Ok(stream) = stream else { continue };
-            accept_shared
-                .metrics
-                .connections
-                .fetch_add(1, Ordering::Relaxed);
+            accept_shared.metrics.connections.inc();
             let conn_shared = Arc::clone(&accept_shared);
             workers.push(std::thread::spawn(move || {
                 let _ = handle_connection(stream, &conn_shared);
@@ -130,9 +127,22 @@ impl ServerHandle {
         self.shared.metrics.snapshot()
     }
 
+    /// The server's Prometheus-style metrics text exposition, read
+    /// in-process. Still available after [`ServerHandle::wait`] returns, so
+    /// a `--metrics-out` file can be written post-shutdown.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render_text()
+    }
+
     /// Block until the server exits (i.e. until some client sends
     /// `SHUTDOWN` or [`ServerHandle::shutdown`] is called elsewhere).
     pub fn join(mut self) {
+        self.wait();
+    }
+
+    /// Like [`ServerHandle::join`], but borrowing — the handle stays usable
+    /// for post-exit reads such as [`ServerHandle::metrics_text`].
+    pub fn wait(&mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -184,7 +194,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
             }
             Err(e) => return Err(e),
         };
-        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // End-to-end service clock: covers decode, handling (cache-hit fast
+        // path included), response encode and write — what a client sees
+        // between its frame arriving complete and the reply leaving.
+        let svc_start = Instant::now();
+        shared.metrics.requests.inc();
         let response = match Request::decode(&payload) {
             Err(e) => Response::Error(e.to_string()),
             Ok(Request::Info) => Response::Info(shared.info.clone()),
@@ -193,6 +207,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
                 shared.stop.store(true, Ordering::SeqCst);
                 let reply = Response::ShuttingDown;
                 write_frame(&mut writer, &reply.encode())?;
+                shared
+                    .metrics
+                    .record_request_us(svc_start.elapsed().as_micros() as u64);
                 // Wake the blocking acceptor so it observes the flag,
                 // drains the other connections, and exits.
                 let _ = TcpStream::connect(shared.addr);
@@ -201,11 +218,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
             Ok(Request::Predict(rows)) => handle_predict(shared, rows),
         };
         write_frame(&mut writer, &response.encode())?;
+        shared
+            .metrics
+            .record_request_us(svc_start.elapsed().as_micros() as u64);
     }
 }
 
 fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Response {
     let start = Instant::now();
+    let mut sp = esp_obs::span!("serve", "predict_batch", rows = rows.len());
     let dim = shared.info.dim as usize;
     for (i, r) in rows.iter().enumerate() {
         if r.row.len() != dim || r.mask.len() != dim {
@@ -269,12 +290,17 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
         .collect();
 
     let m = &shared.metrics;
-    m.predict_requests.fetch_add(1, Ordering::Relaxed);
-    m.predictions.fetch_add(rows.len() as u64, Ordering::Relaxed);
-    m.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
-    m.cache_misses
-        .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
-    m.record_latency(start.elapsed().as_micros() as u64);
+    m.predict_requests.inc();
+    m.predictions.add(rows.len() as u64);
+    m.cache_hits.add(hits as u64);
+    m.cache_misses.add(miss_idx.len() as u64);
+    m.record_batch_size(rows.len() as u64);
+    m.update_cache_hit_ratio();
+    m.record_predict_compute_us(start.elapsed().as_micros() as u64);
+    if sp.is_enabled() {
+        sp.arg("hits", hits);
+        sp.arg("misses", miss_idx.len());
+    }
 
     Response::Predictions(predictions)
 }

@@ -26,15 +26,58 @@ if [[ "$fast" -eq 0 ]]; then
     cargo run --release --offline -q -p esp-bench --bin bench_pipeline -- --quick
     echo "==> BENCH_pipeline.json:"
     cat BENCH_pipeline.json
+    for key in phases setup_ms encode_ms profile_ms train_ms crossval_ms \
+               total_ms tracing_overhead_pct tracing_identical; do
+        grep -q "\"$key\"" BENCH_pipeline.json \
+            || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
+    done
+    grep -q '"tracing_identical": true' BENCH_pipeline.json \
+        || { echo "tracing changed the trained weights" >&2; exit 1; }
 
     echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
-    cargo run --release --offline -q -p esp-serve --bin esp-client -- bench --quick
+    cargo run --release --offline -q -p esp-serve --bin esp-client -- \
+        bench --quick --metrics-out metrics_serve.prom
     echo "==> BENCH_serve.json:"
     cat BENCH_serve.json
-    for key in throughput_rps predictions_per_sec p50_ms p99_ms cache_hit_rate; do
+    for key in throughput_rps predictions_per_sec p50_ms p99_ms hist_p90_us cache_hit_rate; do
         grep -q "\"$key\"" BENCH_serve.json \
             || { echo "BENCH_serve.json is missing \"$key\"" >&2; exit 1; }
     done
+    for series in esp_serve_requests_total esp_serve_request_us \
+                  esp_serve_predict_compute_us esp_serve_batch_size; do
+        grep -q "$series" metrics_serve.prom \
+            || { echo "serve exposition is missing $series" >&2; exit 1; }
+    done
+    rm -f metrics_serve.prom
+
+    echo "==> observability smoke (traced Table 4 subset, writes trace + exposition)"
+    cargo run --release --offline -q -p esp-bench --bin repro_tables -- \
+        table4 --quick --subset sort,grep,sed,gzip \
+        --trace-out trace_obs.json --metrics-out metrics_obs.prom > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PYEOF'
+import json
+events = json.load(open("trace_obs.json"))
+assert isinstance(events, list) and events, "trace is empty or not a list"
+assert any(e.get("ph") == "X" for e in events), "no complete spans in trace"
+names = {e.get("name") for e in events}
+for needed in ("build_suite", "table4_fold", "restart", "epoch"):
+    assert needed in names, f"trace is missing `{needed}` spans"
+print(f"trace OK: {len(events)} events, spans include {sorted(names)[:8]}…")
+PYEOF
+    else
+        # No python3: at least check the trace has the span names in shape.
+        for name in build_suite table4_fold epoch; do
+            grep -q "\"name\":\"$name\"" trace_obs.json \
+                || { echo "trace is missing \`$name\` spans" >&2; exit 1; }
+        done
+    fi
+    for fam in esp_runtime_ esp_train_ esp_eval_; do
+        grep -q "$fam" metrics_obs.prom \
+            || { echo "metrics exposition is missing the $fam family" >&2; exit 1; }
+    done
+    echo "metrics OK: $(grep -c '^# TYPE' metrics_obs.prom) families exposed"
+    rm -f trace_obs.json metrics_obs.prom
 fi
 
 echo "==> verify OK"

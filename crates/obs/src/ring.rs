@@ -1,8 +1,10 @@
 //! The bounded per-thread trace ring buffer.
 //!
-//! One [`TraceRing`] belongs to exactly one producer thread; a drainer (any
-//! thread holding the collector's registry lock) consumes from the other
-//! end. The index protocol is single-producer / single-consumer:
+//! One [`TraceRing`] belongs to exactly one producer thread; a single
+//! drainer consumes from the other end. [`crate::trace::drain`] is that
+//! drainer — it holds the collector's registry lock across the whole drain
+//! loop, so at most one consumer ever touches a ring at a time. The index
+//! protocol is single-producer / single-consumer:
 //!
 //! * the producer owns `tail`: it writes the slot at `tail % cap`, then
 //!   publishes it with a `Release` store of `tail + 1`;
@@ -18,23 +20,43 @@
 //! uncontended, so the push fast path is one uncontended lock plus two
 //! atomic index operations — the producer never blocks on the drainer.
 //!
+//! Slot storage is allocated **lazily in chunks** of [`CHUNK`] slots: a new
+//! ring allocates only its chunk table (a few pointers), and a chunk
+//! materializes the first time an event lands in it. Short-lived pool
+//! workers that record a handful of events therefore cost one chunk
+//! (~tens of KB), not the full [`DEFAULT_CAPACITY`] ring (~MBs). Rings of
+//! exited threads are recycled through the collector's free list (see
+//! [`crate::trace`]), so `parallel_map` regions spawning fresh scoped
+//! threads reuse rings instead of accumulating them.
+//!
 //! When the ring is full the producer **drops the event and counts it**
 //! rather than waiting: observation must never stall the pipeline. Dropped
 //! counts are reported by [`crate::trace::dropped`] so a truncated trace is
 //! visible instead of silent.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::trace::TraceEvent;
 
 /// Default events per thread before the ring starts dropping.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
-/// A bounded single-producer / single-consumer event ring.
+/// Slots per lazily-allocated chunk. Small enough that a transient worker
+/// thread recording a few events allocates ~one chunk, large enough that a
+/// busy thread touches the chunk table rarely.
+pub const CHUNK: usize = 256;
+
+type Slot = Mutex<Option<TraceEvent>>;
+
+/// A bounded single-producer / single-consumer event ring with lazily
+/// allocated slot storage.
 #[derive(Debug)]
 pub struct TraceRing {
-    slots: Vec<Mutex<Option<TraceEvent>>>,
+    /// Chunk table: `capacity.div_ceil(CHUNK)` entries, each materialized
+    /// on first touch by the producer.
+    chunks: Vec<OnceLock<Box<[Slot]>>>,
+    capacity: usize,
     /// Consumer cursor: everything below it has been drained.
     head: AtomicUsize,
     /// Producer cursor: everything below it is published.
@@ -44,11 +66,15 @@ pub struct TraceRing {
 }
 
 impl TraceRing {
-    /// An empty ring of `capacity` slots for thread `tid`.
+    /// An empty ring of `capacity` slots for thread `tid`. Allocates only
+    /// the chunk table; slot chunks materialize as events land in them.
     pub fn new(tid: u64, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         TraceRing {
-            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            chunks: (0..capacity.div_ceil(CHUNK))
+                .map(|_| OnceLock::new())
+                .collect(),
+            capacity,
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
@@ -61,9 +87,36 @@ impl TraceRing {
         self.tid
     }
 
+    /// Total slots this ring can hold (allocated or not).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// How many slots are currently backed by allocated chunks — `0` for a
+    /// fresh ring, growing in [`CHUNK`] steps up to the capacity as events
+    /// land. Exposed so tests can pin the lazy-allocation contract.
+    pub fn allocated_slots(&self) -> usize {
+        self.chunks.iter().filter(|c| c.get().is_some()).count() * CHUNK
+    }
+
+    /// The slot for logical index `idx`, materializing its chunk on first
+    /// touch. Only the producer initializes chunks (the consumer reads
+    /// indices below a published `tail`, whose chunk the producer already
+    /// created).
+    fn slot(&self, idx: usize) -> &Slot {
+        let i = idx % self.capacity;
+        let chunk = self.chunks[i / CHUNK].get_or_init(|| {
+            (0..CHUNK)
+                .map(|_| Mutex::new(None))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        &chunk[i % CHUNK]
     }
 
     /// Append one event (producer side). Returns `false` — and counts the
@@ -71,24 +124,25 @@ impl TraceRing {
     pub fn push(&self, event: TraceEvent) -> bool {
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) >= self.slots.len() {
+        if tail.wrapping_sub(head) >= self.capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        *self.slots[tail % self.slots.len()]
-            .lock()
-            .expect("ring slot poisoned") = Some(event);
+        *self.slot(tail).lock().expect("ring slot poisoned") = Some(event);
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
         true
     }
 
-    /// Take every published event, in push order (consumer side).
+    /// Take every published event, in push order (consumer side). The
+    /// caller must be the sole consumer — [`crate::trace::drain`] guarantees
+    /// this by holding the registry lock across the drain loop.
     pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         let mut i = head;
         while i != tail {
-            let ev = self.slots[i % self.slots.len()]
+            let ev = self
+                .slot(i)
                 .lock()
                 .expect("ring slot poisoned")
                 .take()
@@ -149,5 +203,51 @@ mod tests {
         r.drain_into(&mut out2);
         assert_eq!(out2.len(), 1);
         assert_eq!(out2[0].ts_us, 99);
+    }
+
+    #[test]
+    fn slot_chunks_allocate_lazily() {
+        let r = TraceRing::new(0, DEFAULT_CAPACITY);
+        assert_eq!(r.allocated_slots(), 0, "a fresh ring owns no slots");
+        for s in 0..3 {
+            assert!(r.push(ev(s)));
+        }
+        assert_eq!(
+            r.allocated_slots(),
+            CHUNK,
+            "a few events cost one chunk, not the whole capacity"
+        );
+        // Filling past a chunk boundary materializes exactly one more.
+        for s in 3..(CHUNK as u64 + 1) {
+            assert!(r.push(ev(s)));
+        }
+        assert_eq!(r.allocated_slots(), 2 * CHUNK);
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(out.len(), CHUNK + 1);
+    }
+
+    #[test]
+    fn wraparound_crosses_chunk_boundaries() {
+        // Capacity larger than one chunk, cursors wrapping several times.
+        let cap = CHUNK * 2;
+        let r = TraceRing::new(0, cap);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for round in 1..=3 {
+            for _ in 0..(cap - round) {
+                assert!(r.push(ev(next)));
+                next += 1;
+            }
+            let mut out = Vec::new();
+            r.drain_into(&mut out);
+            assert_eq!(out.len(), cap - round);
+            for e in out {
+                assert_eq!(e.ts_us, expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.allocated_slots(), cap, "both chunks touched after wrap");
     }
 }

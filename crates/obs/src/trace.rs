@@ -4,7 +4,10 @@
 //! Timestamps are microseconds from a process-wide monotonic epoch
 //! ([`std::time::Instant`] taken on first use). Thread ids are small
 //! integers handed out in first-use order — the main thread is usually 0,
-//! pool workers follow in spawn order.
+//! pool workers follow in spawn order. A thread that exits hands its ring
+//! (and thus its trace track id) back to a free list for the next thread
+//! to adopt, so sequential short-lived workers share tracks and the ring
+//! registry stays bounded by peak thread concurrency.
 
 use std::cell::OnceCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -88,6 +91,13 @@ pub struct TraceEvent {
 struct Collector {
     epoch: Instant,
     rings: Mutex<Vec<Arc<TraceRing>>>,
+    /// Rings whose producer thread exited, ready for adoption by the next
+    /// thread that records (capacity permitting). Recycling bounds the
+    /// registry at the peak number of *concurrent* traced threads —
+    /// without it, every short-lived `parallel_map` worker would register
+    /// a fresh permanent ring and a long traced run would leak one ring
+    /// per worker per region.
+    free: Mutex<Vec<Arc<TraceRing>>>,
     next_tid: AtomicU64,
     capacity: AtomicUsize,
 }
@@ -99,13 +109,32 @@ fn collector() -> &'static Collector {
     COLLECTOR.get_or_init(|| Collector {
         epoch: Instant::now(),
         rings: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
         next_tid: AtomicU64::new(0),
         capacity: AtomicUsize::new(DEFAULT_CAPACITY),
     })
 }
 
+/// Thread-local handle on this thread's ring. Dropping it (at thread exit)
+/// hands the ring back to the collector's free list, where the next thread
+/// to record can adopt it — the handoff through the free-list mutex orders
+/// the old producer's final push before the new producer's first, so the
+/// ring's SPSC protocol holds across the ownership change.
+struct RingHolder(Arc<TraceRing>);
+
+impl Drop for RingHolder {
+    fn drop(&mut self) {
+        if let Some(c) = COLLECTOR.get() {
+            c.free
+                .lock()
+                .expect("free list poisoned")
+                .push(Arc::clone(&self.0));
+        }
+    }
+}
+
 thread_local! {
-    static LOCAL_RING: OnceCell<Arc<TraceRing>> = const { OnceCell::new() };
+    static LOCAL_RING: OnceCell<RingHolder> = const { OnceCell::new() };
 }
 
 /// Microseconds since the trace epoch.
@@ -140,45 +169,71 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Total events dropped so far because some thread's ring was full.
+/// Total events dropped so far because some thread's ring was full. Rings
+/// are recycled, never discarded, so drops by exited threads stay counted.
 pub fn dropped() -> u64 {
     let Some(c) = COLLECTOR.get() else { return 0 };
     let rings = c.rings.lock().expect("ring registry poisoned");
     rings.iter().map(|r| r.dropped()).sum()
 }
 
+/// Number of per-thread rings currently registered. Bounded by the peak
+/// number of concurrent traced threads (exited threads' rings are recycled
+/// through a free list, not leaked). Exposed for tests and diagnostics of
+/// long-running traced processes.
+pub fn registered_rings() -> usize {
+    let Some(c) = COLLECTOR.get() else { return 0 };
+    c.rings.lock().expect("ring registry poisoned").len()
+}
+
 fn push(event: TraceEvent) {
     LOCAL_RING.with(|cell| {
-        let ring = cell.get_or_init(|| {
+        let holder = cell.get_or_init(|| {
             let c = collector();
-            let ring = Arc::new(TraceRing::new(
-                c.next_tid.fetch_add(1, Ordering::Relaxed),
-                c.capacity.load(Ordering::Relaxed),
-            ));
-            c.rings
-                .lock()
-                .expect("ring registry poisoned")
-                .push(Arc::clone(&ring));
-            ring
+            let capacity = c.capacity.load(Ordering::Relaxed);
+            // Adopt the ring of an exited thread when one of the right
+            // capacity is free: this thread inherits its trace track id,
+            // and the registry stays bounded by peak thread concurrency.
+            let mut free = c.free.lock().expect("free list poisoned");
+            let recycled = free
+                .iter()
+                .position(|r| r.capacity() == capacity)
+                .map(|i| free.swap_remove(i));
+            drop(free);
+            RingHolder(recycled.unwrap_or_else(|| {
+                let ring = Arc::new(TraceRing::new(
+                    c.next_tid.fetch_add(1, Ordering::Relaxed),
+                    capacity,
+                ));
+                c.rings
+                    .lock()
+                    .expect("ring registry poisoned")
+                    .push(Arc::clone(&ring));
+                ring
+            }))
         });
         let mut event = event;
-        event.tid = ring.tid();
-        ring.push(event);
+        event.tid = holder.0.tid();
+        holder.0.push(event);
     });
 }
 
 /// Drain every thread's ring and return the events sorted by timestamp.
 /// Safe to call while producers are still recording: each event is either
-/// fully drained now or fully drained by a later call, never torn.
+/// fully drained now or fully drained by a later call, never torn. The
+/// registry lock is held across the whole drain, which makes this the
+/// single consumer the rings' SPSC protocol requires — concurrent `drain`
+/// calls serialize instead of racing each other over the same slots.
 pub fn drain() -> Vec<TraceEvent> {
     let Some(c) = COLLECTOR.get() else {
         return Vec::new();
     };
-    let rings: Vec<Arc<TraceRing>> = c.rings.lock().expect("ring registry poisoned").clone();
+    let rings = c.rings.lock().expect("ring registry poisoned");
     let mut out = Vec::new();
-    for ring in rings {
+    for ring in rings.iter() {
         ring.drain_into(&mut out);
     }
+    drop(rings);
     out.sort_by_key(|e| (e.ts_us, e.tid, e.dur_us));
     out
 }
@@ -462,6 +517,46 @@ mod tests {
         assert!(json.contains(r#""rate":0.25"#));
         // two lines per event plus the brackets
         assert_eq!(json.lines().count(), 4);
+    }
+
+    #[test]
+    fn exited_threads_rings_are_recycled_not_leaked() {
+        let _g = locked();
+        let _ = drain();
+        enable_with_capacity(512);
+        let before = registered_rings();
+        const WORKERS: u64 = 16;
+        for w in 0..WORKERS {
+            std::thread::spawn(move || {
+                for s in 0..4u64 {
+                    crate::instant!("t", "churn", w = w, s = s);
+                }
+            })
+            .join()
+            .expect("worker finished");
+        }
+        disable();
+        // Sequential workers adopt the previous worker's ring from the
+        // free list, so 16 threads grow the registry by at most one ring
+        // — the leak the long-running traced serve scenario would hit.
+        assert!(
+            registered_rings() <= before + 1,
+            "rings recycled, not one per thread: {before} -> {}",
+            registered_rings()
+        );
+        let events = drain();
+        assert_eq!(
+            events.iter().filter(|e| e.name == "churn").count(),
+            (WORKERS * 4) as usize,
+            "recycling loses no events"
+        );
+        // All workers shared one track id (they never overlapped in time).
+        let tids: std::collections::HashSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "churn")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(tids.len(), 1, "sequential workers share a trace track");
     }
 
     #[test]

@@ -24,7 +24,10 @@ struct PoolMetrics {
     tasks: std::sync::Arc<Counter>,
     worker_busy_us: std::sync::Arc<Counter>,
     task_run_us: std::sync::Arc<Log2Histogram>,
-    task_wait_us: std::sync::Arc<Log2Histogram>,
+    /// Offset of each task's start from its region's start — a ramp-up /
+    /// skew profile of the region, *not* a queueing-delay signal (a late
+    /// start usually means the worker was busy running earlier tasks).
+    task_start_offset_us: std::sync::Arc<Log2Histogram>,
     queue_depth: std::sync::Arc<Gauge>,
 }
 
@@ -37,7 +40,7 @@ fn pool_metrics() -> &'static PoolMetrics {
             tasks: r.counter("esp_runtime_tasks_total"),
             worker_busy_us: r.counter("esp_runtime_worker_busy_us_total"),
             task_run_us: r.histogram("esp_runtime_task_run_us"),
-            task_wait_us: r.histogram("esp_runtime_task_wait_us"),
+            task_start_offset_us: r.histogram("esp_runtime_task_start_offset_us"),
             queue_depth: r.gauge("esp_runtime_queue_depth"),
         }
     })
@@ -102,7 +105,7 @@ where
                         }
                         if traced {
                             let t0 = esp_obs::trace::now_us();
-                            pm.task_wait_us.record(t0.saturating_sub(region_t0));
+                            pm.task_start_offset_us.record(t0.saturating_sub(region_t0));
                             out.push((i, f(i)));
                             let dt = esp_obs::trace::now_us().saturating_sub(t0);
                             pm.task_run_us.record(dt);

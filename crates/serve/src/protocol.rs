@@ -6,7 +6,15 @@
 //! raw IEEE-754 bits, so a probability arrives at the client bit-identical
 //! to the server's computation.
 //!
-//! Requests start with a one-byte opcode:
+//! Every payload — request and response alike — begins with two version
+//! bytes: the magic marker [`PROTOCOL_MAGIC`] and then
+//! [`PROTOCOL_VERSION`]. A peer built against a different protocol
+//! revision fails decode with an explicit version-mismatch
+//! [`ServeError::Protocol`] instead of misparsing the body (the magic
+//! value collides with no opcode or status byte of the unversioned v1
+//! protocol, so even a v1 peer is diagnosed by name).
+//!
+//! After the version bytes, requests carry a one-byte opcode:
 //!
 //! ```text
 //! 1 PREDICT   u32 n, u32 dim, then n × (dim f64 raw row, dim u8 mask)
@@ -15,7 +23,7 @@
 //! 4 SHUTDOWN  (empty body)
 //! ```
 //!
-//! Responses start with a one-byte status (`0` ok, `1` error). An error
+//! Responses continue with a one-byte status (`0` ok, `1` error). An error
 //! carries a UTF-8 message; an ok body depends on the request:
 //! PREDICT → `u32 n` then `n × (f64 prob, u8 taken)`; STATS → the nine
 //! [`StatsSnapshot`] counters as `u64`s followed by the server's metrics
@@ -30,6 +38,39 @@ use esp_artifact::ArtifactError;
 /// Hard cap on a single frame (requests this large are refused, not
 /// buffered): 64 MiB.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// First byte of every versioned payload. Chosen to collide with no v1
+/// opcode (1–4) or status byte (0/1), so an unversioned peer is detected
+/// as such rather than half-parsed.
+pub const PROTOCOL_MAGIC: u8 = 0xE5;
+
+/// Wire-protocol revision. v1 was the unversioned format (no magic/version
+/// prefix, STATS body without the metrics exposition); v2 added this
+/// prefix and appended the text exposition to STATS. Bump on any payload
+/// layout change.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+fn write_version(w: &mut ByteWriter) {
+    w.u8(PROTOCOL_MAGIC);
+    w.u8(PROTOCOL_VERSION);
+}
+
+fn check_version(r: &mut ByteReader) -> Result<(), ServeError> {
+    let magic = r.u8()?;
+    if magic != PROTOCOL_MAGIC {
+        return Err(ServeError::Protocol(format!(
+            "payload lacks the protocol magic (first byte 0x{magic:02x}): \
+             peer speaks the unversioned v1 protocol or something else entirely"
+        )));
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "peer speaks protocol version {version}, this build speaks {PROTOCOL_VERSION}"
+        )));
+    }
+    Ok(())
+}
 
 /// Everything that can go wrong on the wire.
 #[derive(Debug)]
@@ -287,6 +328,7 @@ impl Request {
     /// a predict batch is ragged (rows or masks of differing lengths).
     pub fn encode(&self) -> Result<Vec<u8>, ServeError> {
         let mut w = ByteWriter::new();
+        write_version(&mut w);
         match self {
             Request::Predict(rows) => {
                 let dim = uniform_dim(rows)?;
@@ -312,6 +354,7 @@ impl Request {
     /// Decode a frame payload.
     pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
         let mut r = ByteReader::new(payload);
+        check_version(&mut r)?;
         let op = r.u8()?;
         let req = match op {
             OP_PREDICT => {
@@ -369,6 +412,7 @@ impl Response {
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        write_version(&mut w);
         match self {
             Response::Error(msg) => {
                 w.u8(ST_ERR);
@@ -420,6 +464,7 @@ impl Response {
     /// Decode a frame payload.
     pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
         let mut r = ByteReader::new(payload);
+        check_version(&mut r)?;
         let status = r.u8()?;
         if status == ST_ERR {
             let msg = r.str()?;
@@ -661,6 +706,8 @@ mod tests {
         ));
         // predict batch claiming more rows than the frame holds
         let mut w = ByteWriter::new();
+        w.u8(PROTOCOL_MAGIC);
+        w.u8(PROTOCOL_VERSION);
         w.u8(OP_PREDICT);
         w.u32(u32::MAX);
         w.u32(1000);
@@ -671,6 +718,8 @@ mod tests {
         // zero-dim rows would make the size bound vacuous: a 9-byte frame
         // must not reach a u32::MAX-element allocation
         let mut w = ByteWriter::new();
+        w.u8(PROTOCOL_MAGIC);
+        w.u8(PROTOCOL_VERSION);
         w.u8(OP_PREDICT);
         w.u32(u32::MAX);
         w.u32(0);
@@ -680,9 +729,49 @@ mod tests {
         ));
         // garbage opcode
         assert!(matches!(
-            Request::decode(&[99]),
+            Request::decode(&[PROTOCOL_MAGIC, PROTOCOL_VERSION, 99]),
             Err(ServeError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn version_mismatches_are_explicit_errors() {
+        // A v1 (unversioned) STATS request: single opcode byte, no prefix.
+        // Must be named as a version problem, not an UnexpectedEof.
+        let err = Request::decode(&[2]).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("v1")),
+            "got: {err}"
+        );
+        // A v1-style response (status byte first) read by a current client.
+        let err = Response::decode(&[0, 2, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("v1")),
+            "got: {err}"
+        );
+        // Right magic, future version: the message names both revisions.
+        let future = PROTOCOL_VERSION + 1;
+        for payload in [
+            [PROTOCOL_MAGIC, future, 2].as_slice(),
+            [PROTOCOL_MAGIC, future, 0, 4].as_slice(),
+        ] {
+            let req_err = Request::decode(payload).unwrap_err();
+            assert!(
+                matches!(&req_err, ServeError::Protocol(m)
+                    if m.contains(&format!("version {future}"))
+                        && m.contains(&PROTOCOL_VERSION.to_string())),
+                "got: {req_err}"
+            );
+            let resp_err = Response::decode(payload).unwrap_err();
+            assert!(
+                matches!(resp_err, ServeError::Protocol(_)),
+                "response decode must also refuse version {future}"
+            );
+        }
+        // Truly empty / truncated payloads still fail decode, just not as a
+        // version mismatch.
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[PROTOCOL_MAGIC]).is_err());
     }
 
     #[test]

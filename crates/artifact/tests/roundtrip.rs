@@ -88,6 +88,24 @@ fn trained_model_round_trips_bitwise() {
         }
     }
     assert!(sites > 50, "subset should exercise many branch sites, got {sites}");
+
+    // The batched kernel entry point round-trips too: scoring all of a
+    // program's sites in one fused pass over the reloaded flat weights is
+    // bit-for-bit the original model's per-site path.
+    for b in &suite.benches {
+        let sites = b.prog.branch_sites();
+        let batched = loaded_model.predict_prob_sites(&b.prog, &b.analysis, &sites);
+        assert_eq!(batched.len(), sites.len());
+        for (site, got) in sites.iter().zip(&batched) {
+            let expect = model.predict_prob(&b.prog, &b.analysis, *site);
+            assert_eq!(
+                expect.to_bits(),
+                got.to_bits(),
+                "batched prediction diverged at site {site:?} of `{}`",
+                b.bench.name
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
 

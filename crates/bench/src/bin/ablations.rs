@@ -77,6 +77,7 @@ fn main() {
         learner: Learner::Net(mlp(hidden, loss, quick)),
         features: FeatureSet::default(),
         threads,
+        ..EspConfig::default()
     };
 
     println!("Ablation study (mean leave-one-out miss rate over {} C programs)\n", targets.len());
@@ -108,6 +109,7 @@ fn main() {
             learner: Learner::Tree(TreeConfig::default()),
             features: FeatureSet::default(),
             threads,
+            ..EspConfig::default()
         },
     );
     let mn = cv_miss(&suite, &full_pool, &targets, &net(10, LossKind::Linear));
@@ -144,6 +146,7 @@ fn main() {
             learner: Learner::Net(mlp(10, LossKind::Linear, quick)),
             features,
             threads,
+            ..EspConfig::default()
         };
         let m = cv_miss(&suite, &full_pool, &targets, &cfg);
         println!("  {name:<24} {:.1}%", m * 100.0);

@@ -14,6 +14,15 @@
 //! (`"tracing_identical"`), and the relative cost lands in
 //! `"tracing_overhead_pct"`.
 //!
+//! A `"kernel"` block measures the flat-SoA training kernels directly: the
+//! corpus coalescing shrink factor (`coalesce_ratio`), sustained training
+//! throughput (`train_examples_per_sec`, epochs × examples over wall-clock),
+//! heap traffic per epoch from a counting global allocator
+//! (`train_allocs_per_epoch`), and a serial A/B of the fused kernel against
+//! the preserved two-pass nested-`Vec` reference (`kernel_speedup`, with
+//! `kernel_identical` asserting the two trainings produce bit-for-bit the
+//! same weights — the run fails otherwise).
+//!
 //! ```text
 //! bench_pipeline [--quick] [--threads N] [--out PATH]
 //! ```
@@ -21,14 +30,47 @@
 //! `--quick` shrinks the learner and the fold count so the whole harness
 //! finishes in seconds; `--threads 0` (default) uses every core.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use esp_core::{build_training_set, cross_validate, EspConfig, Learner, TrainingProgram};
 use esp_eval::SuiteData;
 use esp_exec::ExecLimits;
 use esp_lang::CompilerConfig;
-use esp_nnet::{Mlp, MlpConfig};
+use esp_nnet::{reference::RefMlp, Mlp, MlpConfig};
 use esp_runtime::resolve_threads;
+
+/// Counts every heap allocation in the process, so the report can state how
+/// much allocator traffic an epoch of training causes (the kernels are
+/// zero-alloc once their scratch warms up; the per-epoch figure is the
+/// residue — spans, harness bookkeeping — divided over all epochs).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 struct StageResult {
     name: &'static str,
@@ -115,14 +157,21 @@ fn main() {
         patience: if quick { 80 } else { 300 },
         ..MlpConfig::default()
     };
+    // Build the raw (uncoalesced) set, then coalesce explicitly so the
+    // shrink factor is visible in the report; training runs on the merged
+    // set, like every production path does by default.
     let esp_cfg = EspConfig {
         learner: Learner::Net(mlp_cfg.clone()),
+        coalesce: false,
         ..EspConfig::default()
     };
-    let ((_, data), encode_ms) = time_ms(|| build_training_set(&programs, &esp_cfg));
+    let ((_, raw_data), encode_ms) = time_ms(|| build_training_set(&programs, &esp_cfg));
+    let (data, coalesce_stats) = esp_nnet::coalesce_examples(&raw_data);
     eprintln!(
-        "stage 2/3: training on {} examples ({} restarts)…",
+        "stage 2/3: training on {} examples (coalesced from {}, ratio {:.3}; {} restarts)…",
         data.len(),
+        coalesce_stats.examples_in,
+        coalesce_stats.ratio(),
         mlp_cfg.restarts
     );
     let (m1, train_serial) = time_ms(|| {
@@ -134,6 +183,9 @@ fn main() {
             },
         )
     });
+    let epoch_counter = esp_obs::global_metrics().counter("esp_train_epochs_total");
+    let epochs_before = epoch_counter.get();
+    let allocs_before = allocations();
     let (mt, train_parallel) = time_ms(|| {
         Mlp::train(
             &data,
@@ -143,6 +195,13 @@ fn main() {
             },
         )
     });
+    let epochs = (epoch_counter.get() - epochs_before).max(1);
+    let train_allocs_per_epoch = (allocations() - allocs_before) as f64 / epochs as f64;
+    let train_examples_per_sec = if train_parallel > 0.0 {
+        epochs as f64 * data.len() as f64 / (train_parallel / 1e3)
+    } else {
+        f64::INFINITY
+    };
     let train_same = weights_bits(&m1.0.flat_weights()) == weights_bits(&mt.0.flat_weights());
     let train_stage = StageResult {
         name: "train",
@@ -150,6 +209,29 @@ fn main() {
         parallel_ms: train_parallel,
         bitwise_identical: train_same,
     };
+
+    // ---- kernel A/B: fused flat kernel vs the two-pass reference ---------
+    eprintln!("kernel A/B: serial fused kernel vs nested-Vec reference…");
+    let (r1, ref_ms) = time_ms(|| {
+        RefMlp::train(
+            &data,
+            &MlpConfig {
+                threads: 1,
+                ..mlp_cfg.clone()
+            },
+        )
+    });
+    let kernel_identical = r1.1 == m1.1
+        && weights_bits(&r1.0.flat_weights()) == weights_bits(&m1.0.flat_weights());
+    let kernel_speedup = if train_serial > 0.0 {
+        ref_ms / train_serial
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  reference {ref_ms:.1} ms vs kernel {train_serial:.1} ms \
+         ({kernel_speedup:.2}x), identical: {kernel_identical}"
+    );
 
     // ---- tracing-overhead probe: the train stage with spans enabled ------
     eprintln!("tracing probe: re-running the train stage with spans enabled…");
@@ -247,9 +329,17 @@ fn main() {
         train_ms: stages[1].parallel_ms,
         crossval_ms: stages[2].parallel_ms,
     };
+    let kernel = KernelReport {
+        coalesce_ratio: coalesce_stats.ratio(),
+        train_examples_per_sec,
+        train_allocs_per_epoch,
+        kernel_speedup,
+        kernel_identical,
+    };
     let json = render_json(
         &stages,
         &phases,
+        &kernel,
         threads,
         cores,
         quick,
@@ -267,6 +357,20 @@ fn main() {
         eprintln!("ERROR: enabling tracing changed the trained weights");
         std::process::exit(1);
     }
+    if !kernel_identical {
+        eprintln!("ERROR: the fused kernel diverged from the two-pass reference");
+        std::process::exit(1);
+    }
+}
+
+/// The `"kernel"` block of the report: coalescing, throughput, allocator
+/// traffic and the reference A/B.
+struct KernelReport {
+    coalesce_ratio: f64,
+    train_examples_per_sec: f64,
+    train_allocs_per_epoch: f64,
+    kernel_speedup: f64,
+    kernel_identical: bool,
 }
 
 /// Wall-clock of each pipeline phase (parallel variant where both exist).
@@ -288,9 +392,11 @@ fn weights_bits(w: &[f64]) -> Vec<u64> {
     w.iter().map(|x| x.to_bits()).collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     stages: &[StageResult],
     phases: &Phases,
+    kernel: &KernelReport,
     threads: usize,
     cores: usize,
     quick: bool,
@@ -313,6 +419,28 @@ fn render_json(
         "  \"tracing_overhead_pct\": {tracing_overhead_pct:.3},\n"
     ));
     s.push_str(&format!("  \"tracing_identical\": {tracing_identical},\n"));
+    s.push_str("  \"kernel\": {\n");
+    s.push_str(&format!(
+        "    \"coalesce_ratio\": {:.4},\n",
+        kernel.coalesce_ratio
+    ));
+    s.push_str(&format!(
+        "    \"train_examples_per_sec\": {:.0},\n",
+        kernel.train_examples_per_sec
+    ));
+    s.push_str(&format!(
+        "    \"train_allocs_per_epoch\": {:.2},\n",
+        kernel.train_allocs_per_epoch
+    ));
+    s.push_str(&format!(
+        "    \"kernel_speedup\": {:.3},\n",
+        kernel.kernel_speedup
+    ));
+    s.push_str(&format!(
+        "    \"kernel_identical\": {}\n",
+        kernel.kernel_identical
+    ));
+    s.push_str("  },\n");
     s.push_str("  \"stages\": [\n");
     for (i, st) in stages.iter().enumerate() {
         s.push_str(&format!(

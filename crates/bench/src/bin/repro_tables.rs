@@ -3,7 +3,7 @@
 //! ```text
 //! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
 //!              [--save-model DIR] [--load-model DIR] [--subset NAME,NAME,…]
-//!              [--trace-out FILE] [--metrics-out FILE]
+//!              [--trace-out FILE] [--metrics-out FILE] [--coalesce on|off]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
@@ -29,6 +29,13 @@
 //! process-global Prometheus text exposition (`esp_runtime_*`,
 //! `esp_train_*`, `esp_eval_*` families). Telemetry is observation-only:
 //! the tables are bitwise identical with and without it.
+//!
+//! `--coalesce on|off` (default `on`) controls training-set example
+//! coalescing: examples with bit-identical encoded feature rows are merged
+//! (summed weight, weight-averaged target) before training. The merge is
+//! exact up to float reassociation — Table 4 matches the uncoalesced run at
+//! printed precision (`crates/eval/tests/coalesce_table4.rs` pins this) —
+//! and shrinks the per-epoch work by the corpus duplication factor.
 
 use esp_core::{EspConfig, Learner};
 use esp_eval::{
@@ -37,7 +44,7 @@ use esp_eval::{
 use esp_lang::CompilerConfig;
 use esp_nnet::MlpConfig;
 
-fn esp_config(quick: bool, threads: usize) -> EspConfig {
+fn esp_config(quick: bool, threads: usize, coalesce: bool) -> EspConfig {
     let mlp = if quick {
         MlpConfig {
             hidden: 6,
@@ -58,6 +65,7 @@ fn esp_config(quick: bool, threads: usize) -> EspConfig {
     EspConfig {
         learner: Learner::Net(mlp),
         threads,
+        coalesce,
         ..EspConfig::default()
     }
 }
@@ -84,6 +92,14 @@ fn main() {
     }
     let subset: Option<Vec<String>> = flag_value("--subset")
         .map(|s| s.split(',').map(str::to_string).collect());
+    let coalesce = match flag_value("--coalesce") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("--coalesce takes `on` or `off`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let save_dir = flag_value("--save-model");
     let load_dir = flag_value("--load-model");
     let model_cache = match (save_dir, load_dir) {
@@ -106,12 +122,14 @@ fn main() {
         "--subset",
         "--trace-out",
         "--metrics-out",
+        "--coalesce",
     ];
     let what = args
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            !a.starts_with("--") && !(i > 0 && value_flags.contains(&args[i - 1].as_str()))
+            let follows_value_flag = i > 0 && value_flags.contains(&args[i - 1].as_str());
+            !a.starts_with("--") && !follows_value_flag
         })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
@@ -136,7 +154,7 @@ fn main() {
             if quick { ", quick mode" } else { "" }
         );
         let cfg = Table4Config {
-            esp: esp_config(quick, threads),
+            esp: esp_config(quick, threads, coalesce),
             model_cache: model_cache.clone(),
         };
         println!("{}", table4(suite, &cfg));
@@ -168,7 +186,7 @@ fn main() {
             println!("{}", fig1(10));
             let tomcatv = s.by_name("tomcatv").expect("tomcatv in suite");
             println!("{}", esp_eval::casestudy::fig2(tomcatv));
-            print_extras(s, quick, threads);
+            print_extras(s, quick, threads, coalesce);
             println!("{}", esp_eval::scheme_study::scheme_study(s));
         }
         "scheme" => {
@@ -177,7 +195,7 @@ fn main() {
         }
         "extras" => {
             let s = suite_for_extras(quick);
-            print_extras(&s, quick, threads);
+            print_extras(&s, quick, threads, coalesce);
         }
         other => {
             eprintln!(
@@ -216,13 +234,14 @@ fn suite_for_extras(quick: bool) -> SuiteData {
 /// The two extension studies from the paper's §6 future-work list:
 /// probability calibration of the ESP network and program-based profile
 /// estimation from its probability output.
-fn print_extras(suite: &SuiteData, quick: bool, threads: usize) {
+fn print_extras(suite: &SuiteData, quick: bool, threads: usize, coalesce: bool) {
     use esp_core::{leave_one_out, TrainingProgram};
     use esp_eval::calibration::{calibration, render};
     use esp_eval::freq::evaluate_estimation;
     use esp_ir::Lang;
+    use std::collections::HashMap;
 
-    let cfg = esp_config(quick, threads);
+    let cfg = esp_config(quick, threads, coalesce);
     let c_idx = suite.lang_indices(Lang::C);
     if c_idx.len() < 2 {
         eprintln!("need at least two C programs");
@@ -244,8 +263,17 @@ fn print_extras(suite: &SuiteData, quick: bool, threads: usize) {
     let model = leave_one_out(&group, 0, &cfg);
     let b = &suite.benches[target];
 
+    // Both studies consult the same per-site probabilities; compute them in
+    // one batched kernel pass and serve every closure call from the map.
+    let sites = b.prog.branch_sites();
+    let site_probs: HashMap<esp_ir::BranchId, f64> = sites
+        .iter()
+        .copied()
+        .zip(model.predict_prob_sites(&b.prog, &b.analysis, &sites))
+        .collect();
+
     println!("Extension A: calibration of ESP probabilities on unseen `{}`\n", b.bench.name);
-    let mut probs = |site| model.predict_prob(&b.prog, &b.analysis, site);
+    let mut probs = |site| site_probs[&site];
     let cal = calibration(b, 10, &mut probs);
     println!("{}", render(&cal));
 
@@ -260,7 +288,7 @@ fn print_extras(suite: &SuiteData, quick: bool, threads: usize) {
     };
     let r = evaluate_estimation(b, &mut oracle);
     println!("{:<22} {:>10.3} {:>10.3}", "profile oracle", r.log_correlation, r.mean_abs_error);
-    let mut esp_probs = |site| model.predict_prob(&b.prog, &b.analysis, site);
+    let mut esp_probs = |site| site_probs[&site];
     let r = evaluate_estimation(b, &mut esp_probs);
     println!("{:<22} {:>10.3} {:>10.3}", "ESP network", r.log_correlation, r.mean_abs_error);
     let mut flat = |_| 0.5;

@@ -80,19 +80,28 @@ fn push_succ(v: &mut Vec<f64>, s: &SuccessorFeatures) {
 pub fn encode(f: &BranchFeatures, set: &FeatureSet) -> (Vec<f64>, Vec<bool>) {
     let mut v = Vec::with_capacity(ENCODED_DIM);
     let mut mask = Vec::with_capacity(ENCODED_DIM);
+    encode_into(f, set, &mut v, &mut mask);
+    (v, mask)
+}
+
+/// [`encode`] into caller-owned buffers (cleared first): the allocation-free
+/// entry point batched prediction paths reuse across many sites.
+pub fn encode_into(f: &BranchFeatures, set: &FeatureSet, v: &mut Vec<f64>, mask: &mut Vec<bool>) {
+    v.clear();
+    mask.clear();
 
     // --- features 1–5 ---
     let start = v.len();
-    push_onehot(&mut v, Some(f.br_opcode.ordinal()), BranchOp::ALL.len());
+    push_onehot(v, Some(f.br_opcode.ordinal()), BranchOp::ALL.len());
     v.push(f.backward as u8 as f64);
     let opc_index = |o: Option<Opcode>| Some(o.map_or(OPCODES, |o| o.ordinal()));
-    push_onehot(&mut v, opc_index(f.operand_opcode), OPC_SLOT);
+    push_onehot(v, opc_index(f.operand_opcode), OPC_SLOT);
     mask.resize(v.len(), set.opcode_features);
     // features 4 and 5 are *dependent*: meaningful only when the feature-3
     // instruction reads the corresponding source register.
-    push_onehot(&mut v, opc_index(f.ra_opcode), OPC_SLOT);
+    push_onehot(v, opc_index(f.ra_opcode), OPC_SLOT);
     mask.resize(v.len(), set.opcode_features && f.ra_meaningful);
-    push_onehot(&mut v, opc_index(f.rb_opcode), OPC_SLOT);
+    push_onehot(v, opc_index(f.rb_opcode), OPC_SLOT);
     mask.resize(v.len(), set.opcode_features && f.rb_meaningful);
     debug_assert_eq!(v.len() - start, BranchOp::ALL.len() + 1 + 3 * OPC_SLOT);
 
@@ -104,16 +113,16 @@ pub fn encode(f: &BranchFeatures, set: &FeatureSet) -> (Vec<f64>, Vec<bool>) {
         ProcKind::NonLeaf => 1,
         ProcKind::CallSelf => 2,
     };
-    push_onehot(&mut v, Some(pk), 3);
+    push_onehot(v, Some(pk), 3);
     mask.resize(v.len(), set.context_features);
 
     // --- features 9–24 ---
-    push_succ(&mut v, &f.taken);
-    push_succ(&mut v, &f.not_taken);
+    push_succ(v, &f.taken);
+    push_succ(v, &f.not_taken);
     mask.resize(v.len(), set.successor_features);
 
     debug_assert_eq!(v.len(), ENCODED_DIM);
-    (v, mask)
+    debug_assert_eq!(mask.len(), ENCODED_DIM);
 }
 
 /// A fitted encoder: normalization statistics plus the feature-set choice.
@@ -152,19 +161,48 @@ impl FittedEncoder {
 
     /// Normalize a raw row and zero its masked positions.
     pub fn transform(&self, row: &[f64], mask: &[bool]) -> Vec<f64> {
-        let mut out = self.norm.transform(row);
-        for (x, keep) in out.iter_mut().zip(mask) {
+        let mut out = row.to_vec();
+        self.transform_in_place(&mut out, mask);
+        out
+    }
+
+    /// [`FittedEncoder::transform`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free entry point for batched prediction:
+    /// callers hold one buffer across a whole batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn transform_into(&self, row: &[f64], mask: &[bool], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(row);
+        self.transform_in_place(out, mask);
+    }
+
+    /// Normalize + gate a row in place (same arithmetic as
+    /// [`FittedEncoder::transform`], so results are bitwise identical).
+    fn transform_in_place(&self, row: &mut [f64], mask: &[bool]) {
+        self.norm.apply(row);
+        for (x, keep) in row.iter_mut().zip(mask) {
             if !keep {
                 *x = 0.0;
             }
         }
-        out
     }
 
     /// Encode + normalize + gate one feature record.
     pub fn encode(&self, f: &BranchFeatures) -> Vec<f64> {
         let (row, mask) = encode(f, &self.set);
         self.transform(&row, &mask)
+    }
+
+    /// [`FittedEncoder::encode`] into caller-owned buffers: the raw encoding
+    /// lands in `mask`'s sibling buffer `row`, which is then normalized and
+    /// gated in place. Zero allocations once the buffers have grown to
+    /// [`ENCODED_DIM`]; bitwise identical to [`FittedEncoder::encode`].
+    pub fn encode_into(&self, f: &BranchFeatures, row: &mut Vec<f64>, mask: &mut Vec<bool>) {
+        encode_into(f, &self.set, row, mask);
+        self.transform_in_place(row, mask);
     }
 }
 

@@ -44,6 +44,13 @@ pub struct EspConfig {
     /// one per available core. Folds are independent training problems, so
     /// the thread count never changes any result — only wall-clock time.
     pub threads: usize,
+    /// Merge training examples with bit-identical encoded feature rows into
+    /// one example (summed weight, weight-averaged target) before training.
+    /// Exact for both `LossKind`s up to float reassociation — see
+    /// `esp_nnet::coalesce_examples` for the algebra — and on (the default)
+    /// it typically shrinks corpus training sets severalfold, since the
+    /// mostly-categorical Table 2 features collide heavily.
+    pub coalesce: bool,
 }
 
 impl Default for EspConfig {
@@ -52,6 +59,7 @@ impl Default for EspConfig {
             learner: Learner::default(),
             features: FeatureSet::default(),
             threads: 0,
+            coalesce: true,
         }
     }
 }
@@ -64,6 +72,11 @@ enum Fitted {
 /// Extract, encode and weight every executed branch site of `corpus` into
 /// the learner's training set (the shared front half of [`EspModel::train`]).
 /// Public so the bench harness can time the training stage in isolation.
+///
+/// When `cfg.coalesce` is on, examples with bit-identical encoded rows are
+/// merged (the training objective is unchanged — see
+/// [`esp_nnet::coalesce_examples`]); the `esp_train_examples_raw_total` /
+/// `esp_train_examples_coalesced_total` counters record the shrink.
 ///
 /// # Panics
 ///
@@ -101,7 +114,22 @@ pub fn build_training_set(
             weight: *n,
         })
         .collect();
-    (encoder, data)
+    if !cfg.coalesce {
+        return (encoder, data);
+    }
+    let (merged, stats) = esp_nnet::coalesce_examples(&data);
+    let m = esp_obs::global_metrics();
+    m.counter("esp_train_examples_raw_total")
+        .add(stats.examples_in as u64);
+    m.counter("esp_train_examples_coalesced_total")
+        .add(stats.examples_out as u64);
+    esp_obs::instant!(
+        "esp",
+        "coalesce",
+        before = stats.examples_in,
+        after = stats.examples_out,
+    );
+    (encoder, merged)
 }
 
 /// A trained evidence-based static predictor.
@@ -212,6 +240,60 @@ impl EspModel {
             Fitted::Net(m) => m.predict(&x),
             Fitted::Tree(t) => t.predict(&x),
         }
+    }
+
+    /// Batched [`EspModel::predict_prob_encoded`]: one fused pass over many
+    /// raw `(row, mask)` pairs sharing a normalization buffer and the
+    /// network's hidden-activation scratch, so the per-row cost is pure
+    /// kernel arithmetic — no allocations after the buffers warm up. Used
+    /// by `esp-serve`'s cache-miss fan-out. Bitwise identical to calling
+    /// [`EspModel::predict_prob_encoded`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the encoder's dimensionality.
+    pub fn predict_prob_encoded_batch<'a, I>(&self, rows: I) -> Vec<f64>
+    where
+        I: IntoIterator<Item = (&'a [f64], &'a [bool])>,
+    {
+        let mut x = Vec::with_capacity(self.encoder.normalizer().dim());
+        let mut h = Vec::new();
+        rows.into_iter()
+            .map(|(row, mask)| {
+                self.encoder.transform_into(row, mask, &mut x);
+                match &self.fitted {
+                    Fitted::Net(m) => m.predict_with_scratch(&x, &mut h),
+                    Fitted::Tree(t) => t.predict(&x),
+                }
+            })
+            .collect()
+    }
+
+    /// Batched site prediction: extract + encode + predict every branch in
+    /// `sites`, reusing one encode buffer and one hidden-activation scratch
+    /// across the batch. Probabilities come back in `sites` order, bitwise
+    /// identical to per-site [`EspModel::predict_prob`] — the entry point
+    /// for eval loops that previously called `predict` per site.
+    pub fn predict_prob_sites(
+        &self,
+        prog: &Program,
+        analysis: &ProgramAnalysis,
+        sites: &[BranchId],
+    ) -> Vec<f64> {
+        let mut row = Vec::new();
+        let mut mask = Vec::new();
+        let mut h = Vec::new();
+        sites
+            .iter()
+            .map(|&site| {
+                let f = extract(prog, analysis, site);
+                self.encoder.encode_into(&f, &mut row, &mut mask);
+                match &self.fitted {
+                    Fitted::Net(m) => m.predict_with_scratch(&row, &mut h),
+                    Fitted::Tree(t) => t.predict(&row),
+                }
+            })
+            .collect()
     }
 
     /// Hard taken/not-taken prediction at the paper's 0.5 threshold.

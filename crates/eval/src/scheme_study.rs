@@ -6,6 +6,9 @@
 //! pointer heuristic had a miss rate of 89%" on Scheme — evidence that
 //! expert heuristics are language-bound while a corpus-trained predictor can
 //! simply be retrained.
+//!
+//! This study scores *heuristics* only — no trained model predicts here, so
+//! the batched `EspModel` prediction entry points don't apply to it.
 
 use esp_corpus::scheme_suite;
 use esp_exec::ExecLimits;

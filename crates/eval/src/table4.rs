@@ -1,6 +1,7 @@
 //! Table 4: the headline comparison — BTFNT, APHC, DSHC(B&L), DSHC(Ours),
 //! ESP and perfect static prediction, per program with group averages.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 
 use esp_artifact::{ModelArtifact, ModelMeta, Registry};
@@ -9,7 +10,7 @@ use esp_corpus::Group;
 use esp_heur::{
     measure_rates, perfect_predict, Aphc, BranchCtx, Btfnt, Dshc, HeuristicRates,
 };
-use esp_ir::Lang;
+use esp_ir::{BranchId, Lang};
 
 use crate::data::SuiteData;
 use crate::fmt::{pct, TextTable};
@@ -123,9 +124,19 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
             );
             let t0 = std::time::Instant::now();
             let model = fold_model(suite, cfg, lang, fold, &group);
-            esp_miss[bench_i] = miss_rate(b, |site| {
-                Prediction::from(Some(model.predict_taken(&b.prog, &b.analysis, site)))
-            });
+            // Score every site of the held-out program in one batched kernel
+            // pass (shared encode/normalize/hidden buffers) instead of
+            // re-allocating per site; same `> 0.5` threshold as
+            // `predict_taken`, so the table is unchanged.
+            let sites = b.prog.branch_sites();
+            let probs = model.predict_prob_sites(&b.prog, &b.analysis, &sites);
+            let taken: HashMap<BranchId, bool> = sites
+                .iter()
+                .zip(&probs)
+                .map(|(&site, &p)| (site, p > 0.5))
+                .collect();
+            esp_miss[bench_i] =
+                miss_rate(b, |site| Prediction::from(taken.get(&site).copied()));
             folds_total.inc();
             fold_ms.record(t0.elapsed().as_millis() as u64);
             fold_miss.record((esp_miss[bench_i] * 1000.0).round() as u64);
@@ -157,9 +168,14 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
 
 /// Canonical stamp for the parts of an [`EspConfig`] that change what a
 /// trained fold computes. `threads` is deliberately excluded: every thread
-/// count produces bitwise-identical models.
+/// count produces bitwise-identical models. `coalesce` is included — the
+/// merged training set perturbs weights at ulp level, so a fold cached
+/// under one setting must not be silently reused under the other.
 fn train_config_stamp(cfg: &EspConfig) -> String {
-    format!("{:?} | {:?}", cfg.learner, cfg.features)
+    format!(
+        "{:?} | {:?} | coalesce={}",
+        cfg.learner, cfg.features, cfg.coalesce
+    )
 }
 
 /// Produce one cross-validation fold's model, consulting the artifact

@@ -54,12 +54,12 @@ impl FuncAnalysis {
 
         let closure = |direct: &[bool]| -> Vec<bool> {
             let mut out = vec![false; n];
-            for b in 0..n {
+            for (b, reaches) in out.iter_mut().enumerate() {
                 let mut cur = BlockId(b as u32);
                 let mut steps = 0usize;
                 loop {
                     if direct[cur.index()] {
-                        out[b] = true;
+                        *reaches = true;
                         break;
                     }
                     match func.block(cur).term.sole_successor() {

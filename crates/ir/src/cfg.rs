@@ -169,8 +169,8 @@ impl Cfg {
             }
         }
         post.reverse();
-        for i in 0..n {
-            if !visited[i] {
+        for (i, seen) in visited.iter().enumerate() {
+            if !seen {
                 post.push(BlockId(i as u32));
             }
         }

@@ -126,12 +126,12 @@ impl LoopInfo {
         //    (Table 2, feature 12): follow sole-successor chains with a cycle
         //    guard.
         let mut leads_to_header = vec![false; n];
-        for b in 0..n {
+        for (b, leads) in leads_to_header.iter_mut().enumerate() {
             let mut cur = BlockId(b as u32);
             let mut steps = 0usize;
             loop {
                 if is_header[cur.index()] {
-                    leads_to_header[b] = true;
+                    *leads = true;
                     break;
                 }
                 let succs = cfg.succs(cur);

@@ -1,0 +1,217 @@
+//! Corpus example coalescing: merge training examples whose encoded feature
+//! rows are **bit-identical** into one example per distinct row.
+//!
+//! # Why this is exact
+//!
+//! Both losses depend on a duplicate group only through its aggregate
+//! statistics. For a group of examples `{(x, t_k, n_k)}` sharing one row `x`
+//! (hence one network output `y`), write `N = Σ n_k` and `T = Σ n_k·t_k`:
+//!
+//! * **Linear** (the paper's loss): `Σ_k n_k [y(1−t_k) + t_k(1−y)]
+//!   = y(N−T) + (1−y)T` — exactly the single merged example
+//!   `(x, T/N, N)`'s term `N[y(1−T/N) + (T/N)(1−y)]`. The same holds for
+//!   its `y`-derivative `N − 2T`, so gradients match too.
+//! * **SSE**: the gradient `Σ_k 2n_k(y−t_k) = 2(Ny−T)` equals the merged
+//!   example's `2N(y−T/N)`; the loss differs only by the `y`-independent
+//!   constant `Σ n_k t_k² − T²/N ≥ 0`, which shifts every epoch's loss
+//!   equally and so can only perturb the adaptive-lr comparison at ulp
+//!   level — descent directions are identical.
+//! * **Thresholded error** is the Linear loss with `y` snapped to 0/1, so
+//!   the group identity above applies verbatim; early stopping sees the
+//!   same quantity.
+//!
+//! Equality is exact *in real arithmetic*; floating point reassociates
+//! (`y(N−T)` vs the term-by-term sum), so trained weights differ in ulps,
+//! not in kind. `EspConfig::coalesce` defaults to on; Table 4 is
+//! re-validated to match the uncoalesced run at printed precision
+//! (`crates/eval/tests/coalesce_table4.rs`).
+//!
+//! # Determinism
+//!
+//! Output order is first-occurrence order, and each group folds its
+//! duplicates in input order, so the merged set is a pure function of the
+//! input sequence. Rows are grouped on exact IEEE-754 bit patterns
+//! (`f64::to_bits`), which keeps the pass byte-exact: `-0.0` and `0.0` (or
+//! distinct NaN payloads) are conservatively treated as different rows.
+//! Examples that never collide pass through untouched, bit for bit.
+
+use crate::TrainExample;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// What a coalescing pass did, for benches and logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Examples before merging.
+    pub examples_in: usize,
+    /// Distinct feature rows after merging.
+    pub examples_out: usize,
+    /// Groups that actually absorbed at least one duplicate.
+    pub merged_groups: usize,
+}
+
+impl CoalesceStats {
+    /// `examples_out / examples_in` — the dataset shrink factor (1.0 means
+    /// nothing merged; empty input also reports 1.0).
+    pub fn ratio(&self) -> f64 {
+        if self.examples_in == 0 {
+            1.0
+        } else {
+            self.examples_out as f64 / self.examples_in as f64
+        }
+    }
+}
+
+/// Merge examples with bit-identical feature rows: summed weight,
+/// weight-averaged target, first-occurrence order. See the module docs for
+/// the algebra making this exact for both `LossKind`s.
+pub fn coalesce_examples(data: &[TrainExample]) -> (Vec<TrainExample>, CoalesceStats) {
+    let mut index: HashMap<Vec<u64>, usize> = HashMap::with_capacity(data.len());
+    let mut out: Vec<TrainExample> = Vec::new();
+    // Per group: (Σ n_k·t_k, occurrence count). Targets are recomputed only
+    // for groups that actually merged, so untouched examples survive
+    // bit-for-bit (w·t/w is not always == t in floating point).
+    let mut acc: Vec<(f64, usize)> = Vec::new();
+    for ex in data {
+        let key: Vec<u64> = ex.x.iter().map(|v| v.to_bits()).collect();
+        match index.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(out.len());
+                acc.push((ex.weight * ex.target, 1));
+                out.push(ex.clone());
+            }
+            Entry::Occupied(slot) => {
+                let i = *slot.get();
+                out[i].weight += ex.weight;
+                acc[i].0 += ex.weight * ex.target;
+                acc[i].1 += 1;
+            }
+        }
+    }
+    let mut merged_groups = 0;
+    for (ex, &(weighted_target, count)) in out.iter_mut().zip(&acc) {
+        if count > 1 {
+            merged_groups += 1;
+            if ex.weight > 0.0 {
+                ex.target = weighted_target / ex.weight;
+            }
+        }
+    }
+    let stats = CoalesceStats {
+        examples_in: data.len(),
+        examples_out: out.len(),
+        merged_groups,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(x: Vec<f64>, target: f64, weight: f64) -> TrainExample {
+        TrainExample { x, target, weight }
+    }
+
+    #[test]
+    fn duplicates_merge_with_summed_weight_and_averaged_target() {
+        let data = vec![
+            ex(vec![1.0, -1.0], 1.0, 3.0),
+            ex(vec![0.5, 0.5], 0.0, 1.0),
+            ex(vec![1.0, -1.0], 0.0, 1.0),
+        ];
+        let (merged, stats) = coalesce_examples(&data);
+        assert_eq!(stats.examples_in, 3);
+        assert_eq!(stats.examples_out, 2);
+        assert_eq!(stats.merged_groups, 1);
+        assert_eq!(merged.len(), 2);
+        // first-occurrence order
+        assert_eq!(merged[0].x, vec![1.0, -1.0]);
+        assert_eq!(merged[1].x, vec![0.5, 0.5]);
+        assert_eq!(merged[0].weight, 4.0);
+        assert!((merged[0].target - 0.75).abs() < 1e-15);
+        // the untouched example is bit-for-bit unchanged
+        assert_eq!(merged[1], data[1]);
+    }
+
+    #[test]
+    fn singletons_pass_through_bitwise() {
+        // Weights/targets whose product round-trips inexactly; without the
+        // merged-groups guard, `w·t/w` would perturb them.
+        let data = vec![
+            ex(vec![0.1], 0.3, 0.7),
+            ex(vec![0.2], 0.1, 3.3),
+            ex(vec![0.3], 0.9, 1e-3),
+        ];
+        let (merged, stats) = coalesce_examples(&data);
+        assert_eq!(stats.merged_groups, 0);
+        assert_eq!(stats.ratio(), 1.0);
+        assert_eq!(merged, data);
+    }
+
+    #[test]
+    fn grouping_is_on_exact_bits() {
+        // -0.0 and 0.0 compare equal as floats but have different bits; the
+        // pass must keep them apart (conservative, encoder never emits -0.0).
+        let data = vec![ex(vec![0.0], 1.0, 1.0), ex(vec![-0.0], 0.0, 1.0)];
+        let (merged, _) = coalesce_examples(&data);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn loss_and_gradient_are_preserved() {
+        use crate::{LossKind, Mlp, MlpConfig, TrainExample};
+        // A dataset with heavy duplication (few distinct rows, many copies).
+        let data: Vec<TrainExample> = (0..200)
+            .map(|i| {
+                let r = i % 5;
+                ex(
+                    vec![r as f64 / 2.0 - 1.0, ((r * 3) % 5) as f64 / 2.0 - 1.0],
+                    ((i * 7) % 10) as f64 / 9.0,
+                    0.1 + ((i * 3) % 4) as f64 / 3.0,
+                )
+            })
+            .collect();
+        let (merged, stats) = coalesce_examples(&data);
+        assert_eq!(stats.examples_out, 5);
+
+        let cfg = MlpConfig::default();
+        let m = {
+            let (m, _) = Mlp::train(
+                &data[..20],
+                &MlpConfig {
+                    max_epochs: 3,
+                    restarts: 1,
+                    ..cfg
+                },
+            );
+            m
+        };
+        // Linear loss and thresholded error agree to float-reassociation
+        // noise; the SSE gradient would too (same algebra).
+        assert!((m.loss(&data) - m.loss(&merged)).abs() < 1e-9);
+        assert!((m.thresholded_error(&data) - m.thresholded_error(&merged)).abs() < 1e-9);
+        let grad_of = |d: &[TrainExample]| {
+            let mut g = vec![0.0; m.num_params()];
+            let mut h = Vec::new();
+            let mut t = vec![0.0; d.len()];
+            m.accumulate_gradient(d, LossKind::Linear, &mut g, &mut h, &mut t);
+            g
+        };
+        for (a, b) in grad_of(&data).iter().zip(grad_of(&merged)) {
+            assert!((a - b).abs() < 1e-9, "gradient diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data: Vec<TrainExample> = (0..100)
+            .map(|i| ex(vec![(i % 7) as f64], (i % 2) as f64, 1.0 + (i % 3) as f64))
+            .collect();
+        let (a, sa) = coalesce_examples(&data);
+        let (b, sb) = coalesce_examples(&data);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), 7);
+    }
+}

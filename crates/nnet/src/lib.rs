@@ -44,10 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coalesce;
 mod mlp;
 mod norm;
+pub mod reference;
 mod tree;
 
+pub use coalesce::{coalesce_examples, CoalesceStats};
 pub use mlp::{LossKind, Mlp, MlpConfig, TrainExample, TrainReport};
 pub use norm::Normalizer;
 pub use tree::{DecisionTree, TreeConfig};

@@ -7,9 +7,28 @@
 //! and partials are combined by an ordered pairwise reduction whose shape
 //! depends only on the chunk count. Any `threads` setting therefore yields
 //! bitwise-identical weights.
+//!
+//! # Kernel layout
+//!
+//! All free parameters live in **one contiguous `Vec<f64>`** in
+//! [`Mlp::flat_weights`] order: hidden-major weight rows `w[i][j]`
+//! (`i * inputs + j`), then hidden biases `b[i]`, then output weights `v[i]`
+//! (or `v[j]` over inputs when `hidden == 0`), then the output bias `a`.
+//! Gradients use the *same* flat layout, so the descent update is a single
+//! fused elementwise loop, and forward/backward walk memory linearly. The
+//! hidden-activation scratch is reused across examples (a per-chunk buffer
+//! during training, a thread-local one in [`Mlp::predict`]), making the hot
+//! loop allocation-free — pinned by `tests/alloc_free.rs`.
+//!
+//! Every kernel preserves the *reference* summation order (row terms
+//! left-to-right, then `+ bias`), so the flat path is bitwise-identical to
+//! the nested-`Vec` implementation preserved in [`crate::reference`]; an
+//! integration test asserts this for forwards, gradients, and whole
+//! training runs.
 
 use esp_obs::span;
 use esp_runtime::{parallel_drain, parallel_map_indices, resolve_threads, Pcg32};
+use std::cell::RefCell;
 
 /// One training example: an encoded static feature vector `x`, the branch's
 /// true taken-probability `target` (`t_k`), and its normalized execution
@@ -108,20 +127,22 @@ pub struct TrainReport {
 /// a function of the data alone. 128 examples amortise the scheduling cost
 /// while leaving plenty of chunks to balance across workers on
 /// corpus-sized folds.
-const GRAD_CHUNK: usize = 128;
+pub(crate) const GRAD_CHUNK: usize = 128;
 
-/// The paper's branch-prediction network (Figure 1).
+thread_local! {
+    /// Hidden-activation scratch for the allocation-free single-row predict
+    /// path; grows to the largest `hidden` seen on this thread and stays.
+    static H_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The paper's branch-prediction network (Figure 1), stored as one flat
+/// parameter buffer (see the module docs for the layout).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
-    /// `w[i][j]`: input `j` → hidden `i`.
-    w: Vec<Vec<f64>>,
-    /// Hidden biases.
-    b: Vec<f64>,
-    /// Hidden `i` → output (or input `j` → output when `hidden == 0`).
-    v: Vec<f64>,
-    /// Output bias.
-    a: f64,
+    /// `[w rows (hidden-major) | b | v | a]`, exactly `flat_weights` order.
+    params: Vec<f64>,
     inputs: usize,
+    hidden: usize,
 }
 
 impl Mlp {
@@ -132,26 +153,32 @@ impl Mlp {
 
     /// Number of hidden units.
     pub fn num_hidden(&self) -> usize {
-        self.w.len()
+        self.hidden
     }
 
     /// Total free parameters (weights and biases).
     pub fn num_params(&self) -> usize {
-        self.w.iter().map(Vec::len).sum::<usize>() + self.b.len() + self.v.len() + 1
+        self.params.len()
+    }
+
+    /// Offset of the hidden biases within the flat buffer.
+    #[inline]
+    fn b_off(&self) -> usize {
+        self.hidden * self.inputs
+    }
+
+    /// Offset of the output weights within the flat buffer.
+    #[inline]
+    fn v_off(&self) -> usize {
+        self.b_off() + self.hidden
     }
 
     /// Every free parameter flattened in a fixed order (hidden rows, hidden
     /// biases, output weights, output bias) — the handle determinism tests
-    /// use to assert bitwise-identical training outcomes.
+    /// use to assert bitwise-identical training outcomes. With the flat
+    /// kernel layout this is simply a copy of the parameter buffer.
     pub fn flat_weights(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.num_params());
-        for row in &self.w {
-            out.extend_from_slice(row);
-        }
-        out.extend_from_slice(&self.b);
-        out.extend_from_slice(&self.v);
-        out.push(self.a);
-        out
+        self.params.clone()
     }
 
     /// Free parameters of an `(inputs, hidden)` topology — the length
@@ -171,43 +198,84 @@ impl Mlp {
         if flat.len() != Self::param_count(inputs, hidden) {
             return None;
         }
-        let mut it = flat.iter().copied();
-        let mut take = |n: usize| -> Vec<f64> { it.by_ref().take(n).collect() };
-        let w: Vec<Vec<f64>> = (0..hidden).map(|_| take(inputs)).collect();
-        let b = take(hidden);
-        let v = take(if hidden == 0 { inputs } else { hidden });
-        let a = it.next().expect("length checked above");
-        Some(Mlp { w, b, v, a, inputs })
+        Some(Mlp {
+            params: flat.to_vec(),
+            inputs,
+            hidden,
+        })
     }
 
-    fn new_random(inputs: usize, hidden: usize, rng: &mut Pcg32) -> Self {
+    /// Random initialisation, drawing parameters in flat-layout order (which
+    /// is exactly the nested-row order the reference implementation uses, so
+    /// both see the identical RNG stream). The output bias starts at zero.
+    pub(crate) fn new_random(inputs: usize, hidden: usize, rng: &mut Pcg32) -> Self {
         let scale = 1.0 / (inputs.max(1) as f64).sqrt();
-        let mut weight = |n: usize| -> Vec<f64> {
-            (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
-        };
-        let w: Vec<Vec<f64>> = (0..hidden).map(|_| weight(inputs)).collect();
-        let b = weight(hidden);
-        let v = weight(if hidden == 0 { inputs } else { hidden });
-        let a = 0.0;
+        let n = Self::param_count(inputs, hidden);
+        let mut params: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-scale..scale)).collect();
+        params.push(0.0); // output bias `a`
         Mlp {
-            w,
-            b,
-            v,
-            a,
+            params,
             inputs,
+            hidden,
         }
     }
 
     /// The network's estimate of the probability that the branch is taken,
-    /// in `[0, 1]`.
+    /// in `[0, 1]`. Uses a thread-local hidden-activation scratch, so the
+    /// call is allocation-free once the scratch has grown to `hidden`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the training dimensionality.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.inputs, "input dimensionality mismatch");
-        let (y, _) = self.forward(x);
-        y
+        H_SCRATCH.with(|cell| {
+            let mut h = cell.borrow_mut();
+            if h.len() < self.hidden {
+                h.resize(self.hidden, 0.0);
+            }
+            self.forward_into(x, &mut h)
+        })
+    }
+
+    /// [`Mlp::predict`] with a caller-owned hidden-activation scratch —
+    /// the batched entry point: callers predicting many rows hold one
+    /// buffer across the whole batch and pay zero allocations after it
+    /// grows to `hidden` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict_with_scratch(&self, x: &[f64], h: &mut Vec<f64>) -> f64 {
+        assert_eq!(x.len(), self.inputs, "input dimensionality mismatch");
+        if h.len() < self.hidden {
+            h.resize(self.hidden, 0.0);
+        }
+        self.forward_into(x, h)
+    }
+
+    /// Batched forward kernel: predict every row of `rows`, pushing the
+    /// probabilities onto `out` in order. One pass over the flat weights per
+    /// row with a shared thread-local scratch — the serve cache-miss fan-out
+    /// and eval table plumbing call this instead of per-row [`Mlp::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the training dimensionality.
+    pub fn predict_batch_into<'a, I>(&self, rows: I, out: &mut Vec<f64>)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        H_SCRATCH.with(|cell| {
+            let mut h = cell.borrow_mut();
+            if h.len() < self.hidden {
+                h.resize(self.hidden, 0.0);
+            }
+            for x in rows {
+                assert_eq!(x.len(), self.inputs, "input dimensionality mismatch");
+                out.push(self.forward_into(x, &mut h));
+            }
+        });
     }
 
     /// Hard taken/not-taken decision at the paper's 0.5 threshold.
@@ -215,55 +283,133 @@ impl Mlp {
         self.predict(x) > 0.5
     }
 
-    /// Forward pass returning `(y, hidden activations)`.
-    fn forward(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        if self.w.is_empty() {
-            let z: f64 = self.v.iter().zip(x).map(|(v, x)| v * x).sum::<f64>() + self.a;
-            return (0.5 * z.tanh() + 0.5, Vec::new());
+    /// Fused forward pass over the flat parameter buffer, writing hidden
+    /// activations into `h` (`h.len() >= hidden`, enforced by callers) and
+    /// returning `y`. Accumulation order matches the reference exactly: row
+    /// terms left-to-right from zero, then `+ bias`, so results are bitwise
+    /// identical to the nested-`Vec` implementation.
+    #[inline]
+    fn forward_into(&self, x: &[f64], h: &mut [f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.inputs);
+        debug_assert!(h.len() >= self.hidden);
+        let p = self.params.as_slice();
+        let inputs = self.inputs;
+        if self.hidden == 0 {
+            let mut z = 0.0;
+            for (v, xj) in p[..inputs].iter().zip(x) {
+                z += v * xj;
+            }
+            z += p[inputs]; // output bias
+            return 0.5 * z.tanh() + 0.5;
         }
-        let h: Vec<f64> = self
-            .w
-            .iter()
-            .zip(&self.b)
-            .map(|(wi, bi)| {
-                let s: f64 = wi.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + bi;
-                s.tanh()
-            })
-            .collect();
-        let z: f64 = self.v.iter().zip(&h).map(|(v, h)| v * h).sum::<f64>() + self.a;
-        (0.5 * z.tanh() + 0.5, h)
+        let b_off = self.b_off();
+        for (i, hi) in h[..self.hidden].iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (w, xj) in p[i * inputs..(i + 1) * inputs].iter().zip(x) {
+                s += w * xj;
+            }
+            *hi = (s + p[b_off + i]).tanh();
+        }
+        let v_off = self.v_off();
+        let mut z = 0.0;
+        for (v, hi) in p[v_off..v_off + self.hidden].iter().zip(h.iter()) {
+            z += v * hi;
+        }
+        z += p[v_off + self.hidden]; // output bias
+        0.5 * z.tanh() + 0.5
     }
 
     /// The continuous misprediction-cost loss over a data set.
     pub fn loss(&self, data: &[TrainExample]) -> f64 {
-        data.iter()
-            .map(|ex| {
-                let y = self.predict(&ex.x);
-                ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y))
-            })
-            .sum()
+        H_SCRATCH.with(|cell| {
+            let mut h = cell.borrow_mut();
+            if h.len() < self.hidden {
+                h.resize(self.hidden, 0.0);
+            }
+            data.iter()
+                .map(|ex| {
+                    assert_eq!(ex.x.len(), self.inputs, "input dimensionality mismatch");
+                    let y = self.forward_into(&ex.x, &mut h);
+                    ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y))
+                })
+                .sum()
+        })
     }
 
     /// The thresholded error: the same loss with `y` snapped to 0 or 1 —
     /// i.e. the weighted dynamic misprediction mass of the hard predictor.
     pub fn thresholded_error(&self, data: &[TrainExample]) -> f64 {
-        data.iter()
-            .map(|ex| {
-                let y = if self.predict(&ex.x) > 0.5 { 1.0 } else { 0.0 };
-                ex.weight * (y * (1.0 - ex.target) + ex.target * (1.0 - y))
-            })
-            .sum()
+        H_SCRATCH.with(|cell| {
+            let mut h = cell.borrow_mut();
+            if h.len() < self.hidden {
+                h.resize(self.hidden, 0.0);
+            }
+            data.iter()
+                .map(|ex| {
+                    assert_eq!(ex.x.len(), self.inputs, "input dimensionality mismatch");
+                    let y = self.forward_into(&ex.x, &mut h);
+                    threshold_term(y, ex.target, ex.weight)
+                })
+                .sum()
+        })
     }
 
-    /// Serially accumulate the gradient of one chunk of examples, in example
-    /// order; returns the chunk's continuous loss. This is the reference
-    /// accumulator: the parallel path below applies it per chunk and merges
-    /// the partials in a fixed order.
-    fn chunk_gradient(&self, data: &[TrainExample], kind: LossKind, grad: &mut Gradients) -> f64 {
-        grad.zero();
+    /// Serially accumulate the loss gradient of `data` into the flat buffer
+    /// `grad` (zeroed first; [`Mlp::flat_weights`] layout), writing each
+    /// example's thresholded misprediction mass into `terr` and returning
+    /// the continuous loss — loss, gradient and thresholded error in one
+    /// fused pass over the data. `scratch` is the reusable
+    /// hidden-activation buffer; after it grows to `hidden` once, the call
+    /// performs no heap allocation (pinned by `tests/alloc_free.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != num_params()`, `terr.len() != data.len()`,
+    /// or any example disagrees on dimensionality.
+    pub fn accumulate_gradient(
+        &self,
+        data: &[TrainExample],
+        kind: LossKind,
+        grad: &mut [f64],
+        scratch: &mut Vec<f64>,
+        terr: &mut [f64],
+    ) -> f64 {
+        assert_eq!(grad.len(), self.params.len(), "gradient buffer length");
+        assert_eq!(terr.len(), data.len(), "terr buffer length");
+        assert!(
+            data.iter().all(|d| d.x.len() == self.inputs),
+            "input dimensionality mismatch"
+        );
+        if scratch.len() < self.hidden {
+            scratch.resize(self.hidden, 0.0);
+        }
+        self.chunk_kernel(data, kind, grad, scratch, terr)
+    }
+
+    /// The fused per-chunk kernel: gradient accumulation in example order
+    /// (the reference order), plus the per-example thresholded-error terms
+    /// the epoch loop later sums serially. Backward order per example
+    /// matches the reference accumulator exactly — `gv[i]`, then `gb[i]`,
+    /// then the `gw` row, for each hidden unit in turn, then `ga`.
+    fn chunk_kernel(
+        &self,
+        data: &[TrainExample],
+        kind: LossKind,
+        g: &mut [f64],
+        h: &mut [f64],
+        terr: &mut [f64],
+    ) -> f64 {
+        g.fill(0.0);
+        let inputs = self.inputs;
+        let hidden = self.hidden;
+        let b_off = self.b_off();
+        let v_off = self.v_off();
+        let a_idx = g.len() - 1;
+        let p = self.params.as_slice();
         let mut loss = 0.0;
-        for ex in data {
-            let (y, h) = self.forward(&ex.x);
+        for (ex, terr_out) in data.iter().zip(terr.iter_mut()) {
+            let y = self.forward_into(&ex.x, h);
+            *terr_out = threshold_term(y, ex.target, ex.weight);
             // dE/dy;  y = ½ tanh(z) + ½  ⇒ dy/dz = ½(1 - tanh²z)
             let dedy = match kind {
                 LossKind::Linear => {
@@ -278,49 +424,59 @@ impl Mlp {
             };
             let tanh_z = 2.0 * y - 1.0;
             let dz = dedy * 0.5 * (1.0 - tanh_z * tanh_z);
-            if self.w.is_empty() {
-                for (gv, x) in grad.v.iter_mut().zip(&ex.x) {
-                    *gv += dz * x;
+            if hidden == 0 {
+                for (gv, xj) in g[..inputs].iter_mut().zip(&ex.x) {
+                    *gv += dz * xj;
                 }
-                grad.a += dz;
+                g[a_idx] += dz;
                 continue;
             }
-            for i in 0..self.w.len() {
-                grad.v[i] += dz * h[i];
-                let dh = dz * self.v[i] * (1.0 - h[i] * h[i]);
-                grad.b[i] += dh;
-                for (gw, x) in grad.w[i].iter_mut().zip(&ex.x) {
-                    *gw += dh * x;
+            for i in 0..hidden {
+                let hi = h[i];
+                g[v_off + i] += dz * hi;
+                let dh = dz * p[v_off + i] * (1.0 - hi * hi);
+                g[b_off + i] += dh;
+                for (gw, xj) in g[i * inputs..(i + 1) * inputs].iter_mut().zip(&ex.x) {
+                    *gw += dh * xj;
                 }
             }
-            grad.a += dz;
+            g[a_idx] += dz;
         }
         loss
     }
 
-    /// Compute the full batch gradient into `bufs[0]` and return the epoch
-    /// loss. `bufs` holds one reusable buffer per fixed-size chunk; chunk
-    /// partials are computed on `threads` workers and merged by an ordered
-    /// pairwise (stride-doubling) reduction. Chunk boundaries and reduction
-    /// shape depend only on `data.len()`, never on `threads`, so the result
-    /// is bitwise identical for every thread count.
+    /// Compute the full batch gradient into `bufs[0]` and return
+    /// `(epoch loss, thresholded error at the current weights)`. `bufs`
+    /// holds one reusable buffer per fixed-size chunk; chunk partials are
+    /// computed on `threads` workers and merged by an ordered pairwise
+    /// (stride-doubling) reduction. Chunk boundaries and reduction shape
+    /// depend only on `data.len()`, never on `threads`, so the result is
+    /// bitwise identical for every thread count.
+    ///
+    /// The thresholded error is fused into the same pass: each chunk writes
+    /// its per-example terms into its disjoint slice of `terr_buf`
+    /// (`len == data.len()`), and the buffer is then summed **serially in
+    /// example order** — the identical association a standalone
+    /// [`Mlp::thresholded_error`] sweep would use, so fusing changes no bits.
     fn batch_gradient(
         &self,
         data: &[TrainExample],
         kind: LossKind,
-        bufs: &mut [Gradients],
+        bufs: &mut [GradChunk],
         losses: &mut [f64],
+        terr_buf: &mut [f64],
         threads: usize,
-    ) -> f64 {
+    ) -> (f64, f64) {
         let k = bufs.len();
         debug_assert_eq!(k, data.len().div_ceil(GRAD_CHUNK));
+        debug_assert_eq!(terr_buf.len(), data.len());
         parallel_drain(
             threads.min(k),
             bufs.iter_mut()
                 .zip(losses.iter_mut())
-                .zip(data.chunks(GRAD_CHUNK)),
-            |((grad, loss), chunk)| {
-                *loss = self.chunk_gradient(chunk, kind, grad);
+                .zip(data.chunks(GRAD_CHUNK).zip(terr_buf.chunks_mut(GRAD_CHUNK))),
+            |((buf, loss), (chunk, terr))| {
+                *loss = self.chunk_kernel(chunk, kind, &mut buf.g, &mut buf.h, terr);
             },
         );
         // Ordered pairwise reduction, same shape as `esp_runtime::tree_reduce`
@@ -332,28 +488,22 @@ impl Mlp {
             let mut i = 0;
             while i + stride < k {
                 let (head, tail) = bufs.split_at_mut(i + stride);
-                head[i].add_assign(&tail[0]);
+                for (g, o) in head[i].g.iter_mut().zip(&tail[0].g) {
+                    *g += o;
+                }
                 losses[i] += losses[i + stride];
                 i += 2 * stride;
             }
             stride *= 2;
         }
-        losses[0]
+        (losses[0], terr_buf.iter().sum())
     }
 
-    fn apply(&mut self, grad: &Gradients, lr: f64) {
-        for (wi, gi) in self.w.iter_mut().zip(&grad.w) {
-            for (w, g) in wi.iter_mut().zip(gi) {
-                *w -= lr * g;
-            }
+    /// Fused descent update over the flat buffers: one elementwise loop.
+    fn apply(&mut self, grad: &[f64], lr: f64) {
+        for (p, g) in self.params.iter_mut().zip(grad) {
+            *p -= lr * g;
         }
-        for (b, g) in self.b.iter_mut().zip(&grad.b) {
-            *b -= lr * g;
-        }
-        for (v, g) in self.v.iter_mut().zip(&grad.v) {
-            *v -= lr * g;
-        }
-        self.a -= lr * grad.a;
     }
 
     /// Train a network on `data` with the paper's procedure (batch descent,
@@ -412,6 +562,20 @@ impl Mlp {
         outcome.expect("at least one restart ran")
     }
 
+    /// One restart. Each epoch is a **single fused pass**: the gradient at
+    /// the current weights, the epoch loss, and the thresholded error of
+    /// those same weights all come out of `batch_gradient` together — the
+    /// two-pass loop's separate `thresholded_error` sweep is gone.
+    ///
+    /// The bookkeeping is shifted, not changed: epoch `e`'s fused pass
+    /// scores the weights produced by epoch `e−1`'s update, which is exactly
+    /// the value the two-pass loop examined at the *end* of epoch `e−1`. The
+    /// early-stopping comparisons therefore see the identical sequence of
+    /// (bitwise-identical) thresholded errors at the identical weight
+    /// states, and the whole trajectory — weights, epoch count, stop reason,
+    /// report — reproduces the reference implementation bit for bit. Only
+    /// the weights left by the *final* update (when patience never fired)
+    /// still need a standalone sweep after the loop.
     fn train_once(
         data: &[TrainExample],
         cfg: &MlpConfig,
@@ -424,15 +588,22 @@ impl Mlp {
         let mut rng = Pcg32::seed_from_u64(seed);
         let mut mlp = Mlp::new_random(inputs, cfg.hidden, &mut rng);
         let num_chunks = data.len().div_ceil(GRAD_CHUNK);
-        let mut bufs: Vec<Gradients> = (0..num_chunks).map(|_| Gradients::like(&mlp)).collect();
+        let mut bufs: Vec<GradChunk> = (0..num_chunks).map(|_| GradChunk::like(&mlp)).collect();
         let mut losses = vec![0.0; num_chunks];
+        let mut terr_buf = vec![0.0; data.len()];
         let mut lr = cfg.learning_rate;
         // Normalise the step by total example weight so hyper-parameters are
         // insensitive to corpus size.
         let total_weight: f64 = data.iter().map(|d| d.weight).sum::<f64>().max(1e-12);
 
         let mut best = mlp.clone();
-        let mut best_terr = mlp.thresholded_error(data);
+        // The initial weights are scored by epoch 0's fused pass; a
+        // standalone sweep is only needed when the loop never runs.
+        let mut best_terr = if cfg.max_epochs == 0 {
+            mlp.thresholded_error(data)
+        } else {
+            f64::INFINITY
+        };
         let mut prev_loss = f64::INFINITY;
         let mut since_best = 0usize;
         let mut epochs = 0usize;
@@ -440,32 +611,49 @@ impl Mlp {
 
         let mut stop_reason = "max_epochs";
         for epoch in 0..cfg.max_epochs {
-            epochs = epoch + 1;
             let mut epoch_span = span!("train", "epoch", restart = restart, epoch = epoch);
-            let loss = mlp.batch_gradient(data, cfg.loss, &mut bufs, &mut losses, threads);
-            final_loss = loss;
-            mlp.apply(&bufs[0], lr / total_weight);
-            // Adaptive learning rate, no momentum (paper §3.1.1). Clamped so
-            // a long run of improving epochs cannot blow the step size up.
-            lr *= if loss < prev_loss { cfg.lr_up } else { cfg.lr_down };
-            lr = lr.clamp(1e-5, 40.0 * cfg.learning_rate);
-            prev_loss = loss;
-
-            let terr = mlp.thresholded_error(data);
-            if epoch_span.is_enabled() {
-                epoch_span.arg("loss", loss);
-                epoch_span.arg("lr", lr);
-                epoch_span.arg("terr", terr);
-            }
-            if terr < best_terr - 1e-12 {
+            let (loss, terr) =
+                mlp.batch_gradient(data, cfg.loss, &mut bufs, &mut losses, &mut terr_buf, threads);
+            // `terr` scores the weights entering this epoch — the value the
+            // two-pass loop acted on at the end of the previous epoch.
+            if epoch == 0 {
                 best_terr = terr;
-                best = mlp.clone();
+            } else if terr < best_terr - 1e-12 {
+                best_terr = terr;
+                best.params.copy_from_slice(&mlp.params);
                 since_best = 0;
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
                     stop_reason = "patience";
                     break;
+                }
+            }
+            epochs = epoch + 1;
+            mlp.apply(&bufs[0].g, lr / total_weight);
+            // Adaptive learning rate, no momentum (paper §3.1.1). Clamped so
+            // a long run of improving epochs cannot blow the step size up.
+            lr *= if loss < prev_loss { cfg.lr_up } else { cfg.lr_down };
+            lr = lr.clamp(1e-5, 40.0 * cfg.learning_rate);
+            prev_loss = loss;
+            final_loss = loss;
+            if epoch_span.is_enabled() {
+                epoch_span.arg("loss", loss);
+                epoch_span.arg("lr", lr);
+                epoch_span.arg("terr_pre", terr);
+            }
+        }
+        if stop_reason == "max_epochs" && epochs > 0 {
+            // The last update's weights never went through a fused pass;
+            // score them with the standalone sweep (same association).
+            let terr = mlp.thresholded_error(data);
+            if terr < best_terr - 1e-12 {
+                best_terr = terr;
+                best.params.copy_from_slice(&mlp.params);
+            } else {
+                since_best += 1;
+                if since_best >= cfg.patience {
+                    stop_reason = "patience";
                 }
             }
         }
@@ -494,45 +682,29 @@ impl Mlp {
     }
 }
 
-struct Gradients {
-    w: Vec<Vec<f64>>,
-    b: Vec<f64>,
-    v: Vec<f64>,
-    a: f64,
+/// One example's thresholded misprediction mass: the loss term with `y`
+/// snapped to 0 or 1, the quantity early stopping acts on.
+#[inline]
+fn threshold_term(y: f64, target: f64, weight: f64) -> f64 {
+    let y = if y > 0.5 { 1.0 } else { 0.0 };
+    weight * (y * (1.0 - target) + target * (1.0 - y))
 }
 
-impl Gradients {
+/// One gradient chunk's reusable state: the flat gradient accumulator and
+/// the hidden-activation scratch of whichever worker runs the chunk.
+struct GradChunk {
+    /// Flat gradient, `flat_weights` layout, `num_params` long.
+    g: Vec<f64>,
+    /// Hidden-activation scratch, `hidden` long.
+    h: Vec<f64>,
+}
+
+impl GradChunk {
     fn like(m: &Mlp) -> Self {
-        Gradients {
-            w: m.w.iter().map(|r| vec![0.0; r.len()]).collect(),
-            b: vec![0.0; m.b.len()],
-            v: vec![0.0; m.v.len()],
-            a: 0.0,
+        GradChunk {
+            g: vec![0.0; m.params.len()],
+            h: vec![0.0; m.hidden],
         }
-    }
-
-    fn zero(&mut self) {
-        for r in &mut self.w {
-            r.fill(0.0);
-        }
-        self.b.fill(0.0);
-        self.v.fill(0.0);
-        self.a = 0.0;
-    }
-
-    fn add_assign(&mut self, other: &Gradients) {
-        for (wi, oi) in self.w.iter_mut().zip(&other.w) {
-            for (w, o) in wi.iter_mut().zip(oi) {
-                *w += o;
-            }
-        }
-        for (b, o) in self.b.iter_mut().zip(&other.b) {
-            *b += o;
-        }
-        for (v, o) in self.v.iter_mut().zip(&other.v) {
-            *v += o;
-        }
-        self.a += other.a;
     }
 }
 
@@ -632,26 +804,31 @@ mod tests {
             .collect();
         let mut rng = Pcg32::seed_from_u64(9);
         let m = Mlp::new_random(2, 3, &mut rng);
-        let mut grad = Gradients::like(&m);
-        m.chunk_gradient(&data, LossKind::Linear, &mut grad);
+        let mut grad = vec![0.0; m.num_params()];
+        let mut scratch = Vec::new();
+        let mut terr = vec![0.0; data.len()];
+        m.accumulate_gradient(&data, LossKind::Linear, &mut grad, &mut scratch, &mut terr);
+
+        // The fused pass's terr terms sum (serially) to exactly the
+        // standalone sweep's value.
+        let fused_terr: f64 = terr.iter().sum();
+        assert_eq!(fused_terr.to_bits(), m.thresholded_error(&data).to_bits());
 
         let eps = 1e-6;
-        // check a few representative parameters
-        let checks: Vec<(f64, Box<dyn Fn(&mut Mlp, f64)>)> = vec![
-            (grad.w[1][0], Box::new(|m: &mut Mlp, d: f64| m.w[1][0] += d)),
-            (grad.b[2], Box::new(|m: &mut Mlp, d: f64| m.b[2] += d)),
-            (grad.v[0], Box::new(|m: &mut Mlp, d: f64| m.v[0] += d)),
-            (grad.a, Box::new(|m: &mut Mlp, d: f64| m.a += d)),
-        ];
-        for (analytic, perturb) in checks {
-            let mut mp = m.clone();
-            perturb(&mut mp, eps);
-            let mut mm = m.clone();
-            perturb(&mut mm, -eps);
+        // representative flat indices for (inputs=2, hidden=3):
+        // w[1][0] = 2, b[2] = 6+2, v[0] = 9, a = 12
+        for idx in [2usize, 8, 9, 12] {
+            let analytic = grad[idx];
+            let mut fp = m.flat_weights();
+            fp[idx] += eps;
+            let mp = Mlp::from_flat_weights(2, 3, &fp).expect("valid length");
+            let mut fm = m.flat_weights();
+            fm[idx] -= eps;
+            let mm = Mlp::from_flat_weights(2, 3, &fm).expect("valid length");
             let numeric = (mp.loss(&data) - mm.loss(&data)) / (2.0 * eps);
             assert!(
                 (analytic - numeric).abs() < 1e-6,
-                "gradient mismatch: analytic {analytic} vs numeric {numeric}"
+                "gradient mismatch at {idx}: analytic {analytic} vs numeric {numeric}"
             );
         }
     }
@@ -754,24 +931,27 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(21);
         let m = Mlp::new_random(3, 5, &mut rng);
 
-        let mut serial = Gradients::like(&m);
-        let serial_loss = m.chunk_gradient(&data, LossKind::Linear, &mut serial);
+        let mut serial = vec![0.0; m.num_params()];
+        let mut scratch = Vec::new();
+        let mut terr = vec![0.0; data.len()];
+        let serial_loss =
+            m.accumulate_gradient(&data, LossKind::Linear, &mut serial, &mut scratch, &mut terr);
 
         let k = data.len().div_ceil(GRAD_CHUNK);
-        let mut bufs: Vec<Gradients> = (0..k).map(|_| Gradients::like(&m)).collect();
+        let mut bufs: Vec<GradChunk> = (0..k).map(|_| GradChunk::like(&m)).collect();
         let mut losses = vec![0.0; k];
-        let chunked_loss = m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, 1);
+        let mut terr_buf = vec![0.0; data.len()];
+        let (chunked_loss, chunked_terr) =
+            m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, &mut terr_buf, 1);
 
         assert!((serial_loss - chunked_loss).abs() < 1e-9);
-        for (s, c) in serial.v.iter().zip(&bufs[0].v) {
-            assert!((s - c).abs() < 1e-9, "v gradient diverged: {s} vs {c}");
+        for (s, c) in serial.iter().zip(&bufs[0].g) {
+            assert!((s - c).abs() < 1e-9, "gradient diverged: {s} vs {c}");
         }
-        for (sr, cr) in serial.w.iter().zip(&bufs[0].w) {
-            for (s, c) in sr.iter().zip(cr) {
-                assert!((s - c).abs() < 1e-9, "w gradient diverged: {s} vs {c}");
-            }
-        }
-        assert!((serial.a - bufs[0].a).abs() < 1e-9);
+        // The terr sum is chunk-independent outright: per-example terms in
+        // a flat buffer, summed serially.
+        let serial_terr: f64 = terr.iter().sum();
+        assert_eq!(serial_terr.to_bits(), chunked_terr.to_bits());
     }
 
     #[test]
@@ -781,15 +961,14 @@ mod tests {
         let m = Mlp::new_random(3, 6, &mut rng);
         let k = data.len().div_ceil(GRAD_CHUNK);
 
-        let grad_bits = |threads: usize| -> (u64, Vec<u64>) {
-            let mut bufs: Vec<Gradients> = (0..k).map(|_| Gradients::like(&m)).collect();
+        let grad_bits = |threads: usize| -> (u64, u64, Vec<u64>) {
+            let mut bufs: Vec<GradChunk> = (0..k).map(|_| GradChunk::like(&m)).collect();
             let mut losses = vec![0.0; k];
-            let loss = m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, threads);
-            let mut bits = vec![bufs[0].a.to_bits()];
-            bits.extend(bufs[0].v.iter().map(|x| x.to_bits()));
-            bits.extend(bufs[0].b.iter().map(|x| x.to_bits()));
-            bits.extend(bufs[0].w.iter().flatten().map(|x| x.to_bits()));
-            (loss.to_bits(), bits)
+            let mut terr_buf = vec![0.0; data.len()];
+            let (loss, terr) =
+                m.batch_gradient(&data, LossKind::Linear, &mut bufs, &mut losses, &mut terr_buf, threads);
+            let bits: Vec<u64> = bufs[0].g.iter().map(|x| x.to_bits()).collect();
+            (loss.to_bits(), terr.to_bits(), bits)
         };
 
         let reference = grad_bits(1);
@@ -831,6 +1010,27 @@ mod tests {
             let x = [0.3, -1.2, 0.9, 0.05];
             assert_eq!(back.predict(&x).to_bits(), m.predict(&x).to_bits());
             assert!(Mlp::from_flat_weights(4, hidden, &flat[1..]).is_none());
+        }
+    }
+
+    #[test]
+    fn batch_predict_matches_single_row_predict() {
+        let mut rng = Pcg32::seed_from_u64(33);
+        for hidden in [0, 6] {
+            let m = Mlp::new_random(4, hidden, &mut rng);
+            let rows: Vec<Vec<f64>> = (0..25)
+                .map(|i| (0..4).map(|j| ((i * 5 + j * 3) as f64).cos()).collect())
+                .collect();
+            let mut batched = Vec::new();
+            m.predict_batch_into(rows.iter().map(|r| r.as_slice()), &mut batched);
+            let mut scratch = Vec::new();
+            for (row, y) in rows.iter().zip(&batched) {
+                assert_eq!(m.predict(row).to_bits(), y.to_bits());
+                assert_eq!(
+                    m.predict_with_scratch(row, &mut scratch).to_bits(),
+                    y.to_bits()
+                );
+            }
         }
     }
 

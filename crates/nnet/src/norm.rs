@@ -85,8 +85,8 @@ impl Normalizer {
     /// Panics on dimension mismatch.
     pub fn apply(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");
-        for j in 0..row.len() {
-            row[j] = (row[j] - self.mean[j]) * self.inv_std[j];
+        for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+            *x = (*x - m) * s;
         }
     }
 

@@ -257,16 +257,24 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
     }
     let hits = rows.len() - miss_idx.len();
 
-    // Pass 2: compute the misses — in parallel when the batch is worth it.
+    // Pass 2: compute the misses with the batched kernel (shared
+    // normalization + hidden-activation buffers, no per-row allocation);
+    // large batches split into chunks fanned out over the worker pool, each
+    // worker running the batched kernel on its chunk. Bitwise identical to
+    // the per-row path at every thread count.
+    let batch_of = |idx: &[usize]| {
+        shared
+            .model
+            .predict_prob_encoded_batch(idx.iter().map(|&i| (&rows[i].row[..], &rows[i].mask[..])))
+    };
     let computed: Vec<f64> = if miss_idx.len() >= PARALLEL_BATCH_MIN && shared.threads != 1 {
-        parallel_map(shared.threads, &miss_idx, |&i| {
-            shared.model.predict_prob_encoded(&rows[i].row, &rows[i].mask)
-        })
-    } else {
-        miss_idx
-            .iter()
-            .map(|&i| shared.model.predict_prob_encoded(&rows[i].row, &rows[i].mask))
+        let chunks: Vec<&[usize]> = miss_idx.chunks(32).collect();
+        parallel_map(shared.threads, &chunks, |c| batch_of(c))
+            .into_iter()
+            .flatten()
             .collect()
+    } else {
+        batch_of(&miss_idx)
     };
 
     // Pass 3: fill results and publish the fresh entries.

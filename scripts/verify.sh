@@ -14,6 +14,9 @@ fast=0
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
 
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
 
@@ -27,12 +30,16 @@ if [[ "$fast" -eq 0 ]]; then
     echo "==> BENCH_pipeline.json:"
     cat BENCH_pipeline.json
     for key in phases setup_ms encode_ms profile_ms train_ms crossval_ms \
-               total_ms tracing_overhead_pct tracing_identical; do
+               total_ms tracing_overhead_pct tracing_identical \
+               kernel coalesce_ratio train_examples_per_sec \
+               train_allocs_per_epoch kernel_speedup kernel_identical; do
         grep -q "\"$key\"" BENCH_pipeline.json \
             || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
     done
     grep -q '"tracing_identical": true' BENCH_pipeline.json \
         || { echo "tracing changed the trained weights" >&2; exit 1; }
+    grep -q '"kernel_identical": true' BENCH_pipeline.json \
+        || { echo "fused kernel diverged from the two-pass reference" >&2; exit 1; }
 
     echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
     cargo run --release --offline -q -p esp-serve --bin esp-client -- \

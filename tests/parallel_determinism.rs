@@ -20,6 +20,7 @@ fn cfg(threads: usize) -> EspConfig {
         }),
         features: FeatureSet::default(),
         threads,
+        ..EspConfig::default()
     }
 }
 

@@ -71,6 +71,11 @@ impl ByteWriter {
         self.u64(v.to_bits());
     }
 
+    /// Append an `f32` as its raw IEEE-754 bits.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
     /// Append a length-prefixed UTF-8 string (`u32` byte length + bytes).
     pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
@@ -82,6 +87,14 @@ impl ByteWriter {
         self.u32(xs.len() as u32);
         for &x in xs {
             self.f64(x);
+        }
+    }
+
+    /// Append a length-prefixed `f32` slice (4 bytes per element).
+    pub fn f32_slice(&mut self, xs: &[f32]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f32(x);
         }
     }
 }
@@ -136,6 +149,11 @@ impl<'a> ByteReader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Read an `f32` from its raw IEEE-754 bits.
+    pub fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
     /// Read a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, ArtifactError> {
         let len = self.u32()? as usize;
@@ -156,6 +174,20 @@ impl<'a> ByteReader<'a> {
             });
         }
         (0..len).map(|_| self.f64()).collect()
+    }
+
+    /// Read a length-prefixed `f32` slice, with the same
+    /// validate-length-before-allocating discipline as
+    /// [`ByteReader::f64_slice`].
+    pub fn f32_slice(&mut self) -> Result<Vec<f32>, ArtifactError> {
+        let len = self.u32()? as usize;
+        if self.remaining() < len * 4 {
+            return Err(ArtifactError::Truncated {
+                needed: len * 4,
+                available: self.remaining(),
+            });
+        }
+        (0..len).map(|_| self.f32()).collect()
     }
 
     /// Assert the buffer was consumed exactly.
@@ -203,6 +235,31 @@ mod tests {
         assert!(xs[1].is_nan());
         assert_eq!(xs[2].to_bits(), (-0.0f64).to_bits());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn f32_round_trip_is_bitwise() {
+        let mut w = ByteWriter::new();
+        w.f32(-0.1);
+        w.f32_slice(&[1.5, f32::NAN, -0.0, 3.0e-40]); // incl. NaN + subnormal
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.1f32).to_bits());
+        let xs = r.f32_slice().unwrap();
+        assert_eq!(xs.len(), 4);
+        assert!(xs[1].is_nan());
+        assert_eq!(xs[2].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(xs[3].to_bits(), (3.0e-40f32).to_bits());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn oversized_f32_slice_is_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.f32_slice(), Err(ArtifactError::Truncated { .. })));
     }
 
     #[test]

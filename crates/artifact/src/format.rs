@@ -3,12 +3,12 @@
 //! feature-encoding configuration, normalization statistics, Ball–Larus
 //! heuristic rate tables, and training provenance.
 //!
-//! # Layout (format version 2)
+//! # Layout (format version 3)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"ESPM"
-//! 4       4     format version, u32 LE        (this file: 2)
+//! 4       4     format version, u32 LE        (this file: 3)
 //! 8       8     payload length, u64 LE
 //! 16      4     CRC32(payload), u32 LE        (IEEE polynomial)
 //! 20      …     payload
@@ -22,27 +22,35 @@
 //! u32   fold                 cross-validation fold, u32::MAX = none
 //! u64   examples             training examples the model saw
 //! str   train_config         producer's training-configuration stamp
+//! u8    kind                 weight precision: 0 = f64, 1 = f32 (quantized)
 //! u8×3  feature set          opcode / context / successor group switches
 //! f64[] mean                 per-feature normalization means
 //! f64[] inv_std              per-feature inverse standard deviations
 //! u32   inputs, u32 hidden   network topology
-//! f64[] weights              Mlp::flat_weights order
+//! f64[]|f32[] weights        flat-weights order; element type per `kind`
 //! u8    rates present?       0 or 1
 //! f64×9 hit rates            (present = 1) Heuristic::ordinal order
 //! u64×9 coverage             (present = 1)
 //! ```
 //!
+//! The `kind` byte selects the weight record: [`KIND_F64`] artifacts decode
+//! to [`ModelArtifact`] (the trained f64 network), [`KIND_F32`] to
+//! [`QuantArtifact`] (the f32 serving narrowing produced by
+//! [`ModelArtifact::quantize`]). [`AnyArtifact`] loads either; the
+//! normalization statistics stay f64 in both.
+//!
 //! **Version policy:** any change to this layout — field added, removed,
 //! reordered, or re-typed — bumps [`FORMAT_VERSION`]. Readers reject any
 //! other version with [`ArtifactError::UnsupportedVersion`] instead of
 //! guessing (there are no migration shims: a stale cached model is simply
-//! retrained). Version history: v1 lacked `train_config`.
+//! retrained). Version history: v1 lacked `train_config`; v2 lacked `kind`
+//! (every v2 artifact was implicitly f64).
 
 use std::path::Path;
 
 use esp_core::{EspModel, FeatureSet, FittedEncoder};
 use esp_heur::HeuristicRates;
-use esp_nnet::{Mlp, Normalizer};
+use esp_nnet::{Mlp, Normalizer, QuantizedMlp};
 use esp_runtime::Pcg32;
 
 use crate::bytes::{crc32, ByteReader, ByteWriter};
@@ -52,10 +60,17 @@ use crate::error::ArtifactError;
 pub const MAGIC: [u8; 4] = *b"ESPM";
 
 /// Current artifact format version. Bump on **any** layout change.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Fixed header size preceding the payload.
 pub const HEADER_LEN: usize = 20;
+
+/// `kind` byte: weights are f64 (`Mlp::flat_weights` as raw f64 bits).
+pub const KIND_F64: u8 = 0;
+
+/// `kind` byte: weights are f32 (`QuantizedMlp::flat_weights` as raw f32
+/// bits) — a quantized serving artifact.
+pub const KIND_F32: u8 = 1;
 
 const NO_FOLD: u32 = u32::MAX;
 
@@ -157,158 +172,47 @@ impl ModelArtifact {
         }
     }
 
-    /// Serialize to the `.espm` byte layout. Deterministic: the same
-    /// artifact always produces the same bytes.
+    /// Serialize to the `.espm` byte layout ([`KIND_F64`]). Deterministic:
+    /// the same artifact always produces the same bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut p = ByteWriter::new();
-        p.str(&self.meta.corpus_id);
-        p.u64(self.meta.seed);
-        p.u32(self.meta.fold.unwrap_or(NO_FOLD));
-        p.u64(self.meta.examples);
-        p.str(&self.meta.train_config);
-        let set = self.encoder.feature_set();
-        p.u8(set.opcode_features as u8);
-        p.u8(set.context_features as u8);
-        p.u8(set.successor_features as u8);
-        p.f64_slice(self.encoder.normalizer().mean());
-        p.f64_slice(self.encoder.normalizer().inv_std());
-        p.u32(self.mlp.num_inputs() as u32);
-        p.u32(self.mlp.num_hidden() as u32);
+        write_prefix(
+            &mut p,
+            &self.meta,
+            KIND_F64,
+            &self.encoder,
+            self.mlp.num_inputs(),
+            self.mlp.num_hidden(),
+        );
         p.f64_slice(&self.mlp.flat_weights());
-        match &self.rates {
-            None => p.u8(0),
-            Some(r) => {
-                p.u8(1);
-                for hit in r.hit_array() {
-                    p.f64(hit);
-                }
-                for c in r.coverage {
-                    p.u64(c);
-                }
-            }
-        }
-        let payload = p.into_bytes();
-
-        let mut out = ByteWriter::new();
-        out.u8(MAGIC[0]);
-        out.u8(MAGIC[1]);
-        out.u8(MAGIC[2]);
-        out.u8(MAGIC[3]);
-        out.u32(FORMAT_VERSION);
-        out.u64(payload.len() as u64);
-        out.u32(crc32(&payload));
-        let mut bytes = out.into_bytes();
-        bytes.extend_from_slice(&payload);
-        bytes
+        write_rates(&mut p, &self.rates);
+        wrap_payload(p.into_bytes())
     }
 
     /// Decode an `.espm` byte buffer, verifying magic, version, declared
     /// length and checksum before touching the payload. Never panics on
-    /// hostile input: every failure is a typed [`ArtifactError`].
+    /// hostile input: every failure is a typed [`ArtifactError`]. Rejects
+    /// [`KIND_F32`] artifacts — use [`AnyArtifact::from_bytes`] to load
+    /// either precision.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
-        let mut h = ByteReader::new(bytes);
-        let magic = [h.u8()?, h.u8()?, h.u8()?, h.u8()?];
-        if magic != MAGIC {
-            return Err(ArtifactError::BadMagic);
+        match AnyArtifact::from_bytes(bytes)? {
+            AnyArtifact::F64(a) => Ok(a),
+            AnyArtifact::F32(_) => Err(ArtifactError::Malformed(
+                "artifact holds f32 (quantized) weights; load it as an AnyArtifact".into(),
+            )),
         }
-        let version = h.u32()?;
-        if version != FORMAT_VERSION {
-            return Err(ArtifactError::UnsupportedVersion(version));
-        }
-        let payload_len = h.u64()? as usize;
-        let expected_crc = h.u32()?;
-        if h.remaining() < payload_len {
-            return Err(ArtifactError::Truncated {
-                needed: payload_len,
-                available: h.remaining(),
-            });
-        }
-        if h.remaining() > payload_len {
-            return Err(ArtifactError::Malformed(format!(
-                "{} bytes beyond the declared payload",
-                h.remaining() - payload_len
-            )));
-        }
-        let payload = &bytes[HEADER_LEN..];
-        let actual_crc = crc32(payload);
-        if actual_crc != expected_crc {
-            return Err(ArtifactError::CorruptChecksum {
-                expected: expected_crc,
-                actual: actual_crc,
-            });
-        }
+    }
 
-        let mut r = ByteReader::new(payload);
-        let corpus_id = r.str()?;
-        let seed = r.u64()?;
-        let fold = match r.u32()? {
-            NO_FOLD => None,
-            f => Some(f),
-        };
-        let examples = r.u64()?;
-        let train_config = r.str()?;
-        let set = FeatureSet {
-            opcode_features: r.u8()? != 0,
-            context_features: r.u8()? != 0,
-            successor_features: r.u8()? != 0,
-        };
-        let mean = r.f64_slice()?;
-        let inv_std = r.f64_slice()?;
-        if mean.len() != inv_std.len() {
-            return Err(ArtifactError::Malformed(format!(
-                "normalizer mean ({}) and inv_std ({}) lengths differ",
-                mean.len(),
-                inv_std.len()
-            )));
+    /// The f32 serving narrowing of this artifact: same provenance, same
+    /// encoder (normalization stays f64), network parameters rounded once
+    /// to f32 (see [`esp_nnet::QuantizedMlp`]). Serializes as [`KIND_F32`].
+    pub fn quantize(&self) -> QuantArtifact {
+        QuantArtifact {
+            meta: self.meta.clone(),
+            encoder: self.encoder.clone(),
+            qmlp: QuantizedMlp::from_mlp(&self.mlp),
+            rates: self.rates.clone(),
         }
-        let inputs = r.u32()? as usize;
-        let hidden = r.u32()? as usize;
-        let weights = r.f64_slice()?;
-        if inputs != mean.len() {
-            return Err(ArtifactError::Malformed(format!(
-                "network expects {inputs} inputs but the encoder is {}-dimensional",
-                mean.len()
-            )));
-        }
-        let mlp = Mlp::from_flat_weights(inputs, hidden, &weights).ok_or_else(|| {
-            ArtifactError::Malformed(format!(
-                "weight count {} does not match topology ({inputs} inputs, {hidden} hidden)",
-                weights.len()
-            ))
-        })?;
-        let rates = match r.u8()? {
-            0 => None,
-            1 => {
-                let mut hit = [0.0f64; 9];
-                for h in &mut hit {
-                    *h = r.f64()?;
-                }
-                let mut coverage = [0u64; 9];
-                for c in &mut coverage {
-                    *c = r.u64()?;
-                }
-                Some(HeuristicRates::from_parts(hit, coverage))
-            }
-            other => {
-                return Err(ArtifactError::Malformed(format!(
-                    "rates-present flag must be 0 or 1, got {other}"
-                )))
-            }
-        };
-        r.finish()?;
-
-        Ok(ModelArtifact {
-            meta: ModelMeta {
-                corpus_id,
-                seed,
-                fold,
-                examples,
-                train_config,
-            },
-            encoder: FittedEncoder::from_parts(Normalizer::from_parts(mean, inv_std), set),
-            mlp,
-            rates,
-        })
     }
 
     /// Write the artifact to `path` atomically (temp file + rename), so a
@@ -327,6 +231,371 @@ impl ModelArtifact {
     pub fn load(path: &Path) -> Result<Self, ArtifactError> {
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
+    }
+}
+
+/// An f32 serving artifact ([`KIND_F32`]): the quantized narrowing of a
+/// trained network, produced by [`ModelArtifact::quantize`] (never by
+/// training). Provenance and encoder match the source artifact; only the
+/// network weights are rounded to f32 and stored as raw f32 bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantArtifact {
+    /// Training provenance, inherited from the f64 source.
+    pub meta: ModelMeta,
+    /// Feature-set choice plus fitted normalization statistics (f64).
+    pub encoder: FittedEncoder,
+    /// The quantized network.
+    pub qmlp: QuantizedMlp,
+    /// Heuristic rate tables, carried through from the source.
+    pub rates: Option<HeuristicRates>,
+}
+
+impl QuantArtifact {
+    /// Rebuild the in-memory serving model. Predictions are bitwise
+    /// identical to the quantized model that was packaged.
+    pub fn to_model(&self) -> EspModel {
+        EspModel::from_quant_parts(
+            self.encoder.clone(),
+            self.qmlp.clone(),
+            self.meta.examples as usize,
+        )
+    }
+
+    /// Input dimensionality (encoder and network agree by construction).
+    pub fn dim(&self) -> usize {
+        self.encoder.normalizer().dim()
+    }
+
+    /// Serialize to the `.espm` byte layout ([`KIND_F32`]). Deterministic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = ByteWriter::new();
+        write_prefix(
+            &mut p,
+            &self.meta,
+            KIND_F32,
+            &self.encoder,
+            self.qmlp.num_inputs(),
+            self.qmlp.num_hidden(),
+        );
+        p.f32_slice(&self.qmlp.flat_weights());
+        write_rates(&mut p, &self.rates);
+        wrap_payload(p.into_bytes())
+    }
+
+    /// Decode, rejecting [`KIND_F64`] artifacts (use [`AnyArtifact`] to
+    /// accept either).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        match AnyArtifact::from_bytes(bytes)? {
+            AnyArtifact::F32(a) => Ok(a),
+            AnyArtifact::F64(_) => Err(ArtifactError::Malformed(
+                "artifact holds f64 weights, not a quantized model".into(),
+            )),
+        }
+    }
+}
+
+/// Either weight precision of the `.espm` container — what loaders that
+/// accept any artifact (the registry, `esp-serve`) work with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyArtifact {
+    /// A full-precision trained network ([`KIND_F64`]).
+    F64(ModelArtifact),
+    /// A quantized f32 serving model ([`KIND_F32`]).
+    F32(QuantArtifact),
+}
+
+impl AnyArtifact {
+    /// Decode either artifact kind, with the same header validation as
+    /// [`ModelArtifact::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let payload = unwrap_payload(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let pre = read_prefix(&mut r)?;
+        let out = match pre.kind {
+            KIND_F64 => {
+                let weights = r.f64_slice()?;
+                let mlp =
+                    Mlp::from_flat_weights(pre.inputs, pre.hidden, &weights).ok_or_else(|| {
+                        bad_weight_count(weights.len(), pre.inputs, pre.hidden)
+                    })?;
+                let rates = read_rates(&mut r)?;
+                AnyArtifact::F64(ModelArtifact {
+                    meta: pre.meta,
+                    encoder: pre.encoder,
+                    mlp,
+                    rates,
+                })
+            }
+            KIND_F32 => {
+                let weights = r.f32_slice()?;
+                let qmlp = QuantizedMlp::from_flat_weights(pre.inputs, pre.hidden, &weights)
+                    .ok_or_else(|| bad_weight_count(weights.len(), pre.inputs, pre.hidden))?;
+                let rates = read_rates(&mut r)?;
+                AnyArtifact::F32(QuantArtifact {
+                    meta: pre.meta,
+                    encoder: pre.encoder,
+                    qmlp,
+                    rates,
+                })
+            }
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "unknown artifact kind {other} (expected {KIND_F64} = f64 or {KIND_F32} = f32)"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(out)
+    }
+
+    /// Serialize whichever kind this is; round-trips bitwise through
+    /// [`AnyArtifact::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            AnyArtifact::F64(a) => a.to_bytes(),
+            AnyArtifact::F32(a) => a.to_bytes(),
+        }
+    }
+
+    /// Write to `path` atomically (temp file + rename), like
+    /// [`ModelArtifact::save`].
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("espm.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and decode either artifact kind from `path`.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Training provenance (either kind carries the same meta layout).
+    pub fn meta(&self) -> &ModelMeta {
+        match self {
+            AnyArtifact::F64(a) => &a.meta,
+            AnyArtifact::F32(a) => &a.meta,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyArtifact::F64(a) => a.dim(),
+            AnyArtifact::F32(a) => a.dim(),
+        }
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden(&self) -> usize {
+        match self {
+            AnyArtifact::F64(a) => a.mlp.num_hidden(),
+            AnyArtifact::F32(a) => a.qmlp.num_hidden(),
+        }
+    }
+
+    /// Whether a heuristic rate table is present.
+    pub fn has_rates(&self) -> bool {
+        match self {
+            AnyArtifact::F64(a) => a.rates.is_some(),
+            AnyArtifact::F32(a) => a.rates.is_some(),
+        }
+    }
+
+    /// Weight precision in bits: 64 or 32.
+    pub fn precision_bits(&self) -> u32 {
+        match self {
+            AnyArtifact::F64(_) => 64,
+            AnyArtifact::F32(_) => 32,
+        }
+    }
+
+    /// Rebuild the in-memory model at this artifact's own precision.
+    pub fn to_model(&self) -> EspModel {
+        match self {
+            AnyArtifact::F64(a) => a.to_model(),
+            AnyArtifact::F32(a) => a.to_model(),
+        }
+    }
+}
+
+/// Prepend the validated container header (magic, version, length, CRC) to
+/// a finished payload.
+fn wrap_payload(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = ByteWriter::new();
+    out.u8(MAGIC[0]);
+    out.u8(MAGIC[1]);
+    out.u8(MAGIC[2]);
+    out.u8(MAGIC[3]);
+    out.u32(FORMAT_VERSION);
+    out.u64(payload.len() as u64);
+    out.u32(crc32(&payload));
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Validate magic, version, declared length and checksum; hand back the
+/// payload slice.
+fn unwrap_payload(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
+    let mut h = ByteReader::new(bytes);
+    let magic = [h.u8()?, h.u8()?, h.u8()?, h.u8()?];
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = h.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let payload_len = h.u64()? as usize;
+    let expected_crc = h.u32()?;
+    if h.remaining() < payload_len {
+        return Err(ArtifactError::Truncated {
+            needed: payload_len,
+            available: h.remaining(),
+        });
+    }
+    if h.remaining() > payload_len {
+        return Err(ArtifactError::Malformed(format!(
+            "{} bytes beyond the declared payload",
+            h.remaining() - payload_len
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(ArtifactError::CorruptChecksum {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload)
+}
+
+/// Everything before the weight record: provenance, kind, encoder, topology.
+fn write_prefix(
+    p: &mut ByteWriter,
+    meta: &ModelMeta,
+    kind: u8,
+    encoder: &FittedEncoder,
+    inputs: usize,
+    hidden: usize,
+) {
+    p.str(&meta.corpus_id);
+    p.u64(meta.seed);
+    p.u32(meta.fold.unwrap_or(NO_FOLD));
+    p.u64(meta.examples);
+    p.str(&meta.train_config);
+    p.u8(kind);
+    let set = encoder.feature_set();
+    p.u8(set.opcode_features as u8);
+    p.u8(set.context_features as u8);
+    p.u8(set.successor_features as u8);
+    p.f64_slice(encoder.normalizer().mean());
+    p.f64_slice(encoder.normalizer().inv_std());
+    p.u32(inputs as u32);
+    p.u32(hidden as u32);
+}
+
+/// The decoded counterpart of [`write_prefix`].
+struct Prefix {
+    meta: ModelMeta,
+    kind: u8,
+    encoder: FittedEncoder,
+    inputs: usize,
+    hidden: usize,
+}
+
+fn read_prefix(r: &mut ByteReader<'_>) -> Result<Prefix, ArtifactError> {
+    let corpus_id = r.str()?;
+    let seed = r.u64()?;
+    let fold = match r.u32()? {
+        NO_FOLD => None,
+        f => Some(f),
+    };
+    let examples = r.u64()?;
+    let train_config = r.str()?;
+    let kind = r.u8()?;
+    let set = FeatureSet {
+        opcode_features: r.u8()? != 0,
+        context_features: r.u8()? != 0,
+        successor_features: r.u8()? != 0,
+    };
+    let mean = r.f64_slice()?;
+    let inv_std = r.f64_slice()?;
+    if mean.len() != inv_std.len() {
+        return Err(ArtifactError::Malformed(format!(
+            "normalizer mean ({}) and inv_std ({}) lengths differ",
+            mean.len(),
+            inv_std.len()
+        )));
+    }
+    let inputs = r.u32()? as usize;
+    let hidden = r.u32()? as usize;
+    if inputs != mean.len() {
+        return Err(ArtifactError::Malformed(format!(
+            "network expects {inputs} inputs but the encoder is {}-dimensional",
+            mean.len()
+        )));
+    }
+    Ok(Prefix {
+        meta: ModelMeta {
+            corpus_id,
+            seed,
+            fold,
+            examples,
+            train_config,
+        },
+        kind,
+        encoder: FittedEncoder::from_parts(Normalizer::from_parts(mean, inv_std), set),
+        inputs,
+        hidden,
+    })
+}
+
+fn bad_weight_count(count: usize, inputs: usize, hidden: usize) -> ArtifactError {
+    ArtifactError::Malformed(format!(
+        "weight count {count} does not match topology ({inputs} inputs, {hidden} hidden)"
+    ))
+}
+
+fn write_rates(p: &mut ByteWriter, rates: &Option<HeuristicRates>) {
+    match rates {
+        None => p.u8(0),
+        Some(r) => {
+            p.u8(1);
+            for hit in r.hit_array() {
+                p.f64(hit);
+            }
+            for c in r.coverage {
+                p.u64(c);
+            }
+        }
+    }
+}
+
+fn read_rates(r: &mut ByteReader<'_>) -> Result<Option<HeuristicRates>, ArtifactError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let mut hit = [0.0f64; 9];
+            for h in &mut hit {
+                *h = r.f64()?;
+            }
+            let mut coverage = [0u64; 9];
+            for c in &mut coverage {
+                *c = r.u64()?;
+            }
+            Ok(Some(HeuristicRates::from_parts(hit, coverage)))
+        }
+        other => Err(ArtifactError::Malformed(format!(
+            "rates-present flag must be 0 or 1, got {other}"
+        ))),
     }
 }
 
@@ -393,6 +662,102 @@ mod tests {
             assert!(
                 matches!(err, ArtifactError::Truncated { .. }),
                 "cut at {cut}: expected Truncated, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quant_artifact_round_trips_through_bytes() {
+        let a = ModelArtifact::synthetic(12, 5, 99);
+        let q = a.quantize();
+        let bytes = q.to_bytes();
+        // kind byte says f32, version says 3
+        assert_eq!(bytes[4], FORMAT_VERSION as u8);
+        let back = QuantArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(bytes, back.to_bytes());
+        // provenance and encoder are inherited unchanged
+        assert_eq!(q.meta, a.meta);
+        assert_eq!(q.encoder, a.encoder);
+        assert_eq!(q.rates, a.rates);
+        // weights are the f32 rounding of the source's
+        for (qw, w) in q.qmlp.flat_weights().iter().zip(a.mlp.flat_weights()) {
+            assert_eq!(qw.to_bits(), (w as f32).to_bits());
+        }
+        // the rebuilt model serves at 32-bit precision
+        assert_eq!(back.to_model().precision_bits(), 32);
+    }
+
+    #[test]
+    fn any_artifact_loads_both_kinds() {
+        let a = ModelArtifact::synthetic(7, 3, 4);
+        let q = a.quantize();
+        match AnyArtifact::from_bytes(&a.to_bytes()).unwrap() {
+            AnyArtifact::F64(back) => assert_eq!(back, a),
+            other => panic!("expected F64, got {other:?}"),
+        }
+        let any = AnyArtifact::from_bytes(&q.to_bytes()).unwrap();
+        match &any {
+            AnyArtifact::F32(back) => assert_eq!(back, &q),
+            other => panic!("expected F32, got {other:?}"),
+        }
+        assert_eq!(any.precision_bits(), 32);
+        assert_eq!(any.dim(), 7);
+        assert_eq!(any.hidden(), 3);
+        assert!(any.has_rates());
+        assert_eq!(any.to_bytes(), q.to_bytes());
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_typed_error() {
+        let a = ModelArtifact::synthetic(5, 2, 8);
+        let q = a.quantize();
+        assert!(matches!(
+            ModelArtifact::from_bytes(&q.to_bytes()),
+            Err(ArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            QuantArtifact::from_bytes(&a.to_bytes()),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_byte_is_rejected() {
+        let a = ModelArtifact::synthetic(3, 2, 1);
+        let mut payload = a.to_bytes()[HEADER_LEN..].to_vec();
+        // the kind byte sits right after the train_config string; find it by
+        // re-encoding the prefix up to and including train_config
+        let mut w = ByteWriter::new();
+        w.str(&a.meta.corpus_id);
+        w.u64(a.meta.seed);
+        w.u32(NO_FOLD);
+        w.u64(a.meta.examples);
+        w.str(&a.meta.train_config);
+        let kind_off = w.into_bytes().len();
+        assert_eq!(payload[kind_off], KIND_F64);
+        payload[kind_off] = 7;
+        let bytes = wrap_payload(payload);
+        let err = AnyArtifact::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, ArtifactError::Malformed(m) if m.contains("unknown artifact kind")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn quantized_predictions_round_trip_bitwise() {
+        let a = ModelArtifact::synthetic(10, 4, 77);
+        let q = a.quantize();
+        let model = q.to_model();
+        let loaded = QuantArtifact::from_bytes(&q.to_bytes()).unwrap().to_model();
+        let mut rng = Pcg32::seed_from_u64(5);
+        for _ in 0..40 {
+            let row: Vec<f64> = (0..10).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mask = vec![true; 10];
+            assert_eq!(
+                model.predict_prob_encoded(&row, &mask).to_bits(),
+                loaded.predict_prob_encoded(&row, &mask).to_bits()
             );
         }
     }

@@ -39,5 +39,8 @@ pub mod format;
 pub mod registry;
 
 pub use error::ArtifactError;
-pub use format::{ModelArtifact, ModelMeta, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use format::{
+    AnyArtifact, ModelArtifact, ModelMeta, QuantArtifact, FORMAT_VERSION, HEADER_LEN, KIND_F32,
+    KIND_F64, MAGIC,
+};
 pub use registry::{ArtifactInfo, Registry, RegistryEntry};

@@ -8,7 +8,7 @@
 use std::path::{Path, PathBuf};
 
 use crate::error::ArtifactError;
-use crate::format::{ModelArtifact, ModelMeta};
+use crate::format::{AnyArtifact, ModelArtifact, ModelMeta};
 
 /// Handle on a registry root directory (created lazily on first save).
 #[derive(Debug, Clone)]
@@ -44,6 +44,9 @@ pub struct ArtifactInfo {
     pub hidden: usize,
     /// Whether a heuristic rate table is present.
     pub has_rates: bool,
+    /// Weight precision in bits: 64 for trained networks, 32 for quantized
+    /// serving artifacts.
+    pub precision_bits: u32,
 }
 
 fn valid_name(name: &str) -> Result<(), ArtifactError> {
@@ -155,6 +158,35 @@ impl Registry {
         }
     }
 
+    /// [`Registry::save`] for either artifact kind.
+    pub fn save_any(
+        &self,
+        name: &str,
+        version: u32,
+        artifact: &AnyArtifact,
+    ) -> Result<PathBuf, ArtifactError> {
+        let path = self.path(name, version)?;
+        artifact.save(&path)?;
+        Ok(path)
+    }
+
+    /// [`Registry::load`] for either artifact kind: quantized (f32) serving
+    /// artifacts load alongside full-precision ones.
+    pub fn load_any(
+        &self,
+        name: &str,
+        version: Option<u32>,
+    ) -> Result<(u32, AnyArtifact), ArtifactError> {
+        let version = match version {
+            Some(v) => v,
+            None => *self.versions(name)?.last().ok_or_else(|| {
+                ArtifactError::Malformed(format!("model {name:?} has no versions"))
+            })?,
+        };
+        let artifact = AnyArtifact::load(&self.path(name, version)?)?;
+        Ok((version, artifact))
+    }
+
     /// Load one version of `name`, or the latest when `version` is `None`.
     /// Returns the resolved version alongside the artifact.
     pub fn load(
@@ -201,24 +233,25 @@ impl Registry {
         Ok(out)
     }
 
-    /// Load a version's header-level facts (provenance, topology, file size)
-    /// for display.
+    /// Load a version's header-level facts (provenance, topology, file size,
+    /// weight precision) for display. Works for either artifact kind.
     pub fn inspect(
         &self,
         name: &str,
         version: Option<u32>,
     ) -> Result<ArtifactInfo, ArtifactError> {
-        let (version, artifact) = self.load(name, version)?;
+        let (version, artifact) = self.load_any(name, version)?;
         let path = self.path(name, version)?;
         Ok(ArtifactInfo {
             name: name.to_string(),
             version,
             file_len: std::fs::metadata(&path)?.len(),
             path,
-            meta: artifact.meta.clone(),
+            meta: artifact.meta().clone(),
             dim: artifact.dim(),
-            hidden: artifact.mlp.num_hidden(),
-            has_rates: artifact.rates.is_some(),
+            hidden: artifact.hidden(),
+            has_rates: artifact.has_rates(),
+            precision_bits: artifact.precision_bits(),
         })
     }
 
@@ -273,6 +306,7 @@ mod tests {
         assert_eq!((info.version, info.dim, info.hidden), (2, 6, 3));
         assert!(info.has_rates);
         assert!(info.file_len > 0);
+        assert_eq!(info.precision_bits, 64);
 
         let removed = reg.gc("demo", 1).unwrap();
         assert_eq!(removed.len(), 1);
@@ -326,6 +360,26 @@ mod tests {
         for v in 1..=4 {
             reg.load("demo", Some(v)).expect("complete artifact");
         }
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn quantized_artifacts_round_trip_through_the_registry() {
+        let reg = temp_registry("quant");
+        let a = ModelArtifact::synthetic(6, 3, 11);
+        let q = AnyArtifact::F32(a.quantize());
+        reg.save_any("demo-f32", 1, &q).unwrap();
+        let (v, back) = reg.load_any("demo-f32", None).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(back, q);
+        // the f64-only loader refuses it with a typed error
+        assert!(matches!(
+            reg.load("demo-f32", Some(1)),
+            Err(ArtifactError::Malformed(_))
+        ));
+        let info = reg.inspect("demo-f32", None).unwrap();
+        assert_eq!(info.precision_bits, 32);
+        assert_eq!((info.dim, info.hidden), (6, 3));
         let _ = std::fs::remove_dir_all(reg.root());
     }
 

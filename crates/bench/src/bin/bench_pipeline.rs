@@ -9,10 +9,11 @@
 //!
 //! The report also embeds a `"phases"` wall-clock summary (setup, encode,
 //! and the parallel time of each stage) and a tracing-overhead probe: the
-//! train stage is re-run with `esp-obs` span tracing enabled, the weights
-//! are asserted bitwise identical to the untraced run
-//! (`"tracing_identical"`), and the relative cost lands in
-//! `"tracing_overhead_pct"`.
+//! train stage is re-run with `esp-obs` span tracing enabled several times,
+//! the weights are asserted bitwise identical to the untraced run
+//! (`"tracing_identical"`), and the **median** relative cost lands in
+//! `"tracing_overhead_pct"` (raw — it can dip slightly negative on a noisy
+//! box; the printed summary clamps at 0).
 //!
 //! A `"kernel"` block measures the flat-SoA training kernels directly: the
 //! corpus coalescing shrink factor (`coalesce_ratio`), sustained training
@@ -21,7 +22,12 @@
 //! (`train_allocs_per_epoch`), and a serial A/B of the fused kernel against
 //! the preserved two-pass nested-`Vec` reference (`kernel_speedup`, with
 //! `kernel_identical` asserting the two trainings produce bit-for-bit the
-//! same weights — the run fails otherwise).
+//! same weights — the run fails otherwise). An inference-side A/B compares
+//! the batch-major panel kernel against the per-example scalar path on the
+//! real encoded corpus (`predict_rows_per_sec`, `batch_kernel_speedup`,
+//! `batch_kernel_identical` — bitwise, the run fails otherwise) and the
+//! f32 quantized model against its own scalar path
+//! (`predict_rows_per_sec_f32`, `f32_kernel_identical`).
 //!
 //! ```text
 //! bench_pipeline [--quick] [--threads N] [--out PATH]
@@ -38,7 +44,7 @@ use esp_core::{build_training_set, cross_validate, EspConfig, Learner, TrainingP
 use esp_eval::SuiteData;
 use esp_exec::ExecLimits;
 use esp_lang::CompilerConfig;
-use esp_nnet::{reference::RefMlp, Mlp, MlpConfig};
+use esp_nnet::{reference::RefMlp, Mlp, MlpConfig, PanelScratch, QuantizedMlp};
 use esp_runtime::resolve_threads;
 
 /// Counts every heap allocation in the process, so the report can state how
@@ -234,29 +240,126 @@ fn main() {
     );
 
     // ---- tracing-overhead probe: the train stage with spans enabled ------
-    eprintln!("tracing probe: re-running the train stage with spans enabled…");
-    esp_obs::trace::enable();
-    let (m_traced, train_traced_ms) = time_ms(|| {
-        Mlp::train(
-            &data,
-            &MlpConfig {
-                threads,
-                ..mlp_cfg.clone()
-            },
-        )
+    // The overhead of one traced run against one untraced run is noise-bound
+    // on this scale (it regularly came out negative); run the traced stage
+    // several times and report the MEDIAN relative overhead. The raw median
+    // (which can still be slightly negative on a noisy box) goes into the
+    // JSON; the human summary clamps at 0.
+    const TRACE_REPS: usize = 3;
+    eprintln!("tracing probe: re-running the train stage with spans enabled ({TRACE_REPS} reps)…");
+    let mut trace_events = 0usize;
+    let mut tracing_identical = true;
+    let mut overhead_pcts: Vec<f64> = Vec::with_capacity(TRACE_REPS);
+    for _ in 0..TRACE_REPS {
+        esp_obs::trace::enable();
+        let (m_traced, train_traced_ms) = time_ms(|| {
+            Mlp::train(
+                &data,
+                &MlpConfig {
+                    threads,
+                    ..mlp_cfg.clone()
+                },
+            )
+        });
+        esp_obs::trace::disable();
+        trace_events += esp_obs::trace::drain().len();
+        tracing_identical = tracing_identical
+            && weights_bits(&m_traced.0.flat_weights()) == weights_bits(&mt.0.flat_weights());
+        if train_parallel > 0.0 {
+            overhead_pcts.push((train_traced_ms - train_parallel) / train_parallel * 100.0);
+        }
+    }
+    let tracing_overhead_pct = median(&mut overhead_pcts);
+    eprintln!(
+        "  tracing: median overhead {:+.2}% over {TRACE_REPS} reps vs {train_parallel:.1} ms \
+         untraced (reported as {:.2}%), {trace_events} events, identical: {tracing_identical}",
+        tracing_overhead_pct,
+        tracing_overhead_pct.max(0.0)
+    );
+
+    // ---- predict kernel A/B: batch-major panel kernel vs per-example -----
+    // Same trained f64 model, same rows (the real encoded corpus), two
+    // inference paths: the per-example scalar loop and the batch-major
+    // panel kernel. The panel kernel must be bitwise identical — it
+    // performs the scalar summation order per lane — so the A/B doubles as
+    // the identity gate. The f32 quantized model runs the same comparison
+    // against its own scalar path (f32 is a different model, so it is only
+    // self-consistent, never f64-identical).
+    let predict_reps = if quick { 20 } else { 60 };
+    eprintln!(
+        "predict A/B: {} rows x {predict_reps} reps, scalar vs panel kernel…",
+        raw_data.len()
+    );
+    let net = &m1.0;
+    let inputs = net.num_inputs();
+    let mut panel: Vec<f64> = Vec::with_capacity(raw_data.len() * inputs);
+    for ex in &raw_data {
+        panel.extend_from_slice(&ex.x);
+    }
+    let rows_n = raw_data.len();
+    let mut h64: Vec<f64> = Vec::new();
+    let mut scalar_out: Vec<f64> = Vec::with_capacity(rows_n);
+    let (_, scalar_ms) = time_ms(|| {
+        for _ in 0..predict_reps {
+            scalar_out.clear();
+            for ex in &raw_data {
+                scalar_out.push(net.predict_with_scratch(&ex.x, &mut h64));
+            }
+        }
     });
-    esp_obs::trace::disable();
-    let trace_events = esp_obs::trace::drain().len();
-    let tracing_identical =
-        weights_bits(&m_traced.0.flat_weights()) == weights_bits(&mt.0.flat_weights());
-    let tracing_overhead_pct = if train_parallel > 0.0 {
-        (train_traced_ms - train_parallel) / train_parallel * 100.0
+    let mut scratch64 = PanelScratch::new();
+    let mut panel_out: Vec<f64> = Vec::with_capacity(rows_n);
+    let (_, panel_ms) = time_ms(|| {
+        for _ in 0..predict_reps {
+            panel_out.clear();
+            net.predict_panel_into(&panel, rows_n, &mut scratch64, &mut panel_out);
+        }
+    });
+    let batch_kernel_identical = weights_bits(&scalar_out) == weights_bits(&panel_out);
+    let batch_kernel_speedup = if panel_ms > 0.0 {
+        scalar_ms / panel_ms
     } else {
-        0.0
+        f64::INFINITY
+    };
+    let predict_rows_per_sec = if panel_ms > 0.0 {
+        (rows_n * predict_reps) as f64 / (panel_ms / 1e3)
+    } else {
+        f64::INFINITY
     };
     eprintln!(
-        "  tracing: {train_traced_ms:.1} ms vs {train_parallel:.1} ms untraced \
-         ({tracing_overhead_pct:+.2}%), {trace_events} events, identical: {tracing_identical}"
+        "  f64: scalar {scalar_ms:.1} ms vs panel {panel_ms:.1} ms \
+         ({batch_kernel_speedup:.2}x, {predict_rows_per_sec:.0} rows/s), \
+         identical: {batch_kernel_identical}"
+    );
+
+    let qnet = QuantizedMlp::from_mlp(net);
+    let mut h32: Vec<f32> = Vec::new();
+    let mut scalar32_out: Vec<f64> = Vec::with_capacity(rows_n);
+    let (_, scalar32_ms) = time_ms(|| {
+        for _ in 0..predict_reps {
+            scalar32_out.clear();
+            for ex in &raw_data {
+                scalar32_out.push(qnet.predict_with_scratch(&ex.x, &mut h32));
+            }
+        }
+    });
+    let mut scratch32 = PanelScratch::<f32>::new();
+    let mut panel32_out: Vec<f64> = Vec::with_capacity(rows_n);
+    let (_, panel32_ms) = time_ms(|| {
+        for _ in 0..predict_reps {
+            panel32_out.clear();
+            qnet.predict_panel_into(&panel, rows_n, &mut scratch32, &mut panel32_out);
+        }
+    });
+    let f32_kernel_identical = weights_bits(&scalar32_out) == weights_bits(&panel32_out);
+    let predict_rows_per_sec_f32 = if panel32_ms > 0.0 {
+        (rows_n * predict_reps) as f64 / (panel32_ms / 1e3)
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  f32: scalar {scalar32_ms:.1} ms vs panel {panel32_ms:.1} ms \
+         ({predict_rows_per_sec_f32:.0} rows/s), self-consistent: {f32_kernel_identical}"
     );
 
     // ---- stage 3: leave-one-out cross-validation (folds) -----------------
@@ -335,6 +438,11 @@ fn main() {
         train_allocs_per_epoch,
         kernel_speedup,
         kernel_identical,
+        predict_rows_per_sec,
+        predict_rows_per_sec_f32,
+        batch_kernel_speedup,
+        batch_kernel_identical,
+        f32_kernel_identical,
     };
     let json = render_json(
         &stages,
@@ -361,6 +469,29 @@ fn main() {
         eprintln!("ERROR: the fused kernel diverged from the two-pass reference");
         std::process::exit(1);
     }
+    if !batch_kernel_identical {
+        eprintln!("ERROR: the batch panel kernel diverged from the scalar f64 path");
+        std::process::exit(1);
+    }
+    if !f32_kernel_identical {
+        eprintln!("ERROR: the f32 panel kernel diverged from the f32 scalar path");
+        std::process::exit(1);
+    }
+}
+
+/// Median of a small sample (averages the middle pair for even sizes);
+/// `0.0` for an empty slice.
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN overhead"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
 }
 
 /// The `"kernel"` block of the report: coalescing, throughput, allocator
@@ -371,6 +502,11 @@ struct KernelReport {
     train_allocs_per_epoch: f64,
     kernel_speedup: f64,
     kernel_identical: bool,
+    predict_rows_per_sec: f64,
+    predict_rows_per_sec_f32: f64,
+    batch_kernel_speedup: f64,
+    batch_kernel_identical: bool,
+    f32_kernel_identical: bool,
 }
 
 /// Wall-clock of each pipeline phase (parallel variant where both exist).
@@ -437,8 +573,28 @@ fn render_json(
         kernel.kernel_speedup
     ));
     s.push_str(&format!(
-        "    \"kernel_identical\": {}\n",
+        "    \"kernel_identical\": {},\n",
         kernel.kernel_identical
+    ));
+    s.push_str(&format!(
+        "    \"predict_rows_per_sec\": {:.0},\n",
+        kernel.predict_rows_per_sec
+    ));
+    s.push_str(&format!(
+        "    \"predict_rows_per_sec_f32\": {:.0},\n",
+        kernel.predict_rows_per_sec_f32
+    ));
+    s.push_str(&format!(
+        "    \"batch_kernel_speedup\": {:.3},\n",
+        kernel.batch_kernel_speedup
+    ));
+    s.push_str(&format!(
+        "    \"batch_kernel_identical\": {},\n",
+        kernel.batch_kernel_identical
+    ));
+    s.push_str(&format!(
+        "    \"f32_kernel_identical\": {}\n",
+        kernel.f32_kernel_identical
     ));
     s.push_str("  },\n");
     s.push_str("  \"stages\": [\n");

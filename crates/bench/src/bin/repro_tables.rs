@@ -4,6 +4,7 @@
 //! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
 //!              [--save-model DIR] [--load-model DIR] [--subset NAME,NAME,…]
 //!              [--trace-out FILE] [--metrics-out FILE] [--coalesce on|off]
+//!              [--precision f32|f64] [--flip-bound B]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
@@ -36,10 +37,20 @@
 //! exact up to float reassociation — Table 4 matches the uncoalesced run at
 //! printed precision (`crates/eval/tests/coalesce_table4.rs` pins this) —
 //! and shrinks the per-epoch work by the corpus duplication factor.
+//!
+//! `--precision f32` (default `f64`) runs the f32 quantization gate on
+//! Table 4: each fold's f64 model is quantized, rescored on its held-out
+//! program, prediction flips and the f32 miss-rate delta are reported (and
+//! the quantized fold artifacts published to the `--save-model` registry,
+//! if any, under `…-f32` names — *refused* per fold over the bound), and
+//! the process exits nonzero when the pooled flip rate exceeds
+//! `--flip-bound B` (default 0.02). Table 4 itself stays f64 — the gate
+//! never changes the printed table.
 
 use esp_core::{EspConfig, Learner};
 use esp_eval::{
-    fig1, table3, table4, table5, table6, table7, ModelCache, SuiteData, Table4Config,
+    compute_with_quant, fig1, table3, table5, table6, table7, ModelCache, QuantGateConfig,
+    SuiteData, Table4Config,
 };
 use esp_lang::CompilerConfig;
 use esp_nnet::MlpConfig;
@@ -114,6 +125,24 @@ fn main() {
             load: l.is_some(),
         }),
     };
+    let quant = match flag_value("--precision") {
+        None | Some("f64") => None,
+        Some("f32") => Some(QuantGateConfig {
+            flip_bound: flag_value("--flip-bound")
+                .map(|v| v.parse().expect("--flip-bound takes a number"))
+                .unwrap_or(0.02),
+            // Publish quantized fold artifacts next to the f64 folds when a
+            // save registry is in play; a load-only cache is left untouched.
+            publish: model_cache
+                .as_ref()
+                .filter(|c| c.save)
+                .map(|c| c.dir.clone()),
+        }),
+        Some(other) => {
+            eprintln!("--precision takes `f32` or `f64`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     // Flags that consume the next argument, so it can't be the artifact name.
     let value_flags = [
         "--threads",
@@ -123,6 +152,8 @@ fn main() {
         "--trace-out",
         "--metrics-out",
         "--coalesce",
+        "--precision",
+        "--flip-bound",
     ];
     let what = args
         .iter()
@@ -147,7 +178,10 @@ fn main() {
         }
     });
 
-    let run_t4 = |suite: &SuiteData| {
+    // True only when `--precision f32` ran and the pooled flip rate blew the
+    // bound; the nonzero exit is deferred past the telemetry writes below.
+    let mut gate_failed = false;
+    let mut run_t4 = |suite: &SuiteData| {
         eprintln!(
             "running Table 4 (leave-one-out ESP over {} programs{})…",
             suite.benches.len(),
@@ -156,8 +190,14 @@ fn main() {
         let cfg = Table4Config {
             esp: esp_config(quick, threads, coalesce),
             model_cache: model_cache.clone(),
+            quant: quant.clone(),
         };
-        println!("{}", table4(suite, &cfg));
+        let (rows, gate) = compute_with_quant(suite, &cfg);
+        println!("{}", esp_eval::table4::render_rows(suite, &rows));
+        if let Some(gate) = gate {
+            println!("{}", gate.render());
+            gate_failed |= !gate.passes();
+        }
     };
 
     match what {
@@ -216,6 +256,10 @@ fn main() {
             Ok(n) => eprintln!("wrote {n} trace events to {}", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
+    }
+    if gate_failed {
+        eprintln!("f32 quantization gate FAILED: pooled flip rate over --flip-bound");
+        std::process::exit(1);
     }
 }
 

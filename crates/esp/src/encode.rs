@@ -179,6 +179,22 @@ impl FittedEncoder {
         self.transform_in_place(out, mask);
     }
 
+    /// [`FittedEncoder::transform`] appended onto a growing row-major panel:
+    /// the raw row lands at the end of `panel` and is normalized + gated in
+    /// place there. This is how batched prediction builds the contiguous
+    /// input panels the batch-major kernels (`esp_nnet::PanelScratch`)
+    /// consume; each appended row is bitwise identical to
+    /// [`FittedEncoder::transform`] of the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn transform_extend(&self, row: &[f64], mask: &[bool], panel: &mut Vec<f64>) {
+        let base = panel.len();
+        panel.extend_from_slice(row);
+        self.transform_in_place(&mut panel[base..], mask);
+    }
+
     /// Normalize + gate a row in place (same arithmetic as
     /// [`FittedEncoder::transform`], so results are bitwise identical).
     fn transform_in_place(&self, row: &mut [f64], mask: &[bool]) {

@@ -1,9 +1,13 @@
 //! The ESP model: train on a corpus of profiled programs, predict branches
 //! of unseen programs.
 
+use std::cell::RefCell;
+
 use esp_exec::Profile;
 use esp_ir::{BranchId, Program, ProgramAnalysis};
-use esp_nnet::{DecisionTree, Mlp, MlpConfig, TrainExample, TreeConfig};
+use esp_nnet::{
+    DecisionTree, Mlp, MlpConfig, PanelScratch, QuantizedMlp, TrainExample, TreeConfig,
+};
 
 use crate::encode::{encode, FeatureSet, FittedEncoder};
 use crate::features::extract;
@@ -67,6 +71,18 @@ impl Default for EspConfig {
 enum Fitted {
     Net(Mlp),
     Tree(DecisionTree),
+    /// A served f32 narrowing of a trained network — never produced by
+    /// training, only by [`EspModel::quantize`] or artifact import.
+    Quant(QuantizedMlp),
+}
+
+thread_local! {
+    /// Reusable batched-prediction state: the row-major input panel under
+    /// construction plus the f64/f32 panel-kernel scratch. Batched entry
+    /// points stay allocation-free per row once these have grown to the
+    /// model's shape.
+    static BATCH_SCRATCH: RefCell<(Vec<f64>, PanelScratch, PanelScratch<f32>)> =
+        const { RefCell::new((Vec::new(), PanelScratch::new(), PanelScratch::new())) };
 }
 
 /// Extract, encode and weight every executed branch site of `corpus` into
@@ -181,6 +197,52 @@ impl EspModel {
         }
     }
 
+    /// Rebuild an f32-serving model from its persisted parts — the import
+    /// half of quantized artifacts. Predicts bitwise-identically to the
+    /// model [`EspModel::quantize`] produced before export.
+    pub fn from_quant_parts(encoder: FittedEncoder, qmlp: QuantizedMlp, examples: usize) -> Self {
+        EspModel {
+            encoder,
+            fitted: Fitted::Quant(qmlp),
+            examples,
+        }
+    }
+
+    /// The f32 serving narrowing of this model: network parameters rounded
+    /// to f32 once, inference in f32 thereafter (see
+    /// [`esp_nnet::QuantizedMlp`]). The encoder (normalization statistics)
+    /// stays f64 — only the network is quantized. `None` for tree learners.
+    /// Quantizing an already-quantized model is the identity.
+    pub fn quantize(&self) -> Option<EspModel> {
+        let qmlp = match &self.fitted {
+            Fitted::Net(m) => QuantizedMlp::from_mlp(m),
+            Fitted::Quant(q) => q.clone(),
+            Fitted::Tree(_) => return None,
+        };
+        Some(EspModel::from_quant_parts(
+            self.encoder.clone(),
+            qmlp,
+            self.examples,
+        ))
+    }
+
+    /// The fitted f32 network, or `None` unless this is a quantized model.
+    pub fn quantized(&self) -> Option<&QuantizedMlp> {
+        match &self.fitted {
+            Fitted::Quant(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// Parameter precision of the underlying predictor in bits: 32 for a
+    /// quantized network, 64 otherwise (trees store f64 thresholds).
+    pub fn precision_bits(&self) -> u32 {
+        match &self.fitted {
+            Fitted::Quant(_) => 32,
+            Fitted::Net(_) | Fitted::Tree(_) => 64,
+        }
+    }
+
     /// Number of training examples used.
     pub fn num_examples(&self) -> usize {
         self.examples
@@ -191,11 +253,11 @@ impl EspModel {
         &self.encoder
     }
 
-    /// The fitted network, or `None` for a tree learner.
+    /// The fitted f64 network, or `None` for tree or quantized models.
     pub fn mlp(&self) -> Option<&Mlp> {
         match &self.fitted {
             Fitted::Net(m) => Some(m),
-            Fitted::Tree(_) => None,
+            Fitted::Tree(_) | Fitted::Quant(_) => None,
         }
     }
 
@@ -205,7 +267,7 @@ impl EspModel {
     pub fn net_weights(&self) -> Option<Vec<f64>> {
         match &self.fitted {
             Fitted::Net(m) => Some(m.flat_weights()),
-            Fitted::Tree(_) => None,
+            Fitted::Tree(_) | Fitted::Quant(_) => None,
         }
     }
 
@@ -221,6 +283,7 @@ impl EspModel {
         match &self.fitted {
             Fitted::Net(m) => m.predict(&x),
             Fitted::Tree(t) => t.predict(&x),
+            Fitted::Quant(q) => q.predict(&x),
         }
     }
 
@@ -239,15 +302,20 @@ impl EspModel {
         match &self.fitted {
             Fitted::Net(m) => m.predict(&x),
             Fitted::Tree(t) => t.predict(&x),
+            Fitted::Quant(q) => q.predict(&x),
         }
     }
 
-    /// Batched [`EspModel::predict_prob_encoded`]: one fused pass over many
-    /// raw `(row, mask)` pairs sharing a normalization buffer and the
-    /// network's hidden-activation scratch, so the per-row cost is pure
-    /// kernel arithmetic — no allocations after the buffers warm up. Used
-    /// by `esp-serve`'s cache-miss fan-out. Bitwise identical to calling
-    /// [`EspModel::predict_prob_encoded`] per row.
+    /// Batched [`EspModel::predict_prob_encoded`]: normalize every raw
+    /// `(row, mask)` pair onto a contiguous row-major panel
+    /// ([`FittedEncoder::transform_extend`]) and forward the whole panel
+    /// through the batch-major kernel
+    /// ([`esp_nnet::Mlp::predict_panel_into`]), so full 8-row tiles run
+    /// autovectorized across examples. Panel and kernel scratch are
+    /// thread-local — no allocations per row after warm-up. Used by
+    /// `esp-serve`'s cache-miss fan-out. Bitwise identical to calling
+    /// [`EspModel::predict_prob_encoded`] per row (each panel lane keeps
+    /// the scalar summation order). Trees keep the per-row path.
     ///
     /// # Panics
     ///
@@ -256,24 +324,40 @@ impl EspModel {
     where
         I: IntoIterator<Item = (&'a [f64], &'a [bool])>,
     {
-        let mut x = Vec::with_capacity(self.encoder.normalizer().dim());
-        let mut h = Vec::new();
-        rows.into_iter()
-            .map(|(row, mask)| {
-                self.encoder.transform_into(row, mask, &mut x);
-                match &self.fitted {
-                    Fitted::Net(m) => m.predict_with_scratch(&x, &mut h),
-                    Fitted::Tree(t) => t.predict(&x),
-                }
-            })
-            .collect()
+        if let Fitted::Tree(t) = &self.fitted {
+            let mut x = Vec::with_capacity(self.encoder.normalizer().dim());
+            return rows
+                .into_iter()
+                .map(|(row, mask)| {
+                    self.encoder.transform_into(row, mask, &mut x);
+                    t.predict(&x)
+                })
+                .collect();
+        }
+        BATCH_SCRATCH.with(|cell| {
+            let (panel, s64, s32) = &mut *cell.borrow_mut();
+            panel.clear();
+            let mut n = 0usize;
+            for (row, mask) in rows {
+                self.encoder.transform_extend(row, mask, panel);
+                n += 1;
+            }
+            let mut out = Vec::with_capacity(n);
+            match &self.fitted {
+                Fitted::Net(m) => m.predict_panel_into(panel, n, s64, &mut out),
+                Fitted::Quant(q) => q.predict_panel_into(panel, n, s32, &mut out),
+                Fitted::Tree(_) => unreachable!("handled above"),
+            }
+            out
+        })
     }
 
-    /// Batched site prediction: extract + encode + predict every branch in
-    /// `sites`, reusing one encode buffer and one hidden-activation scratch
-    /// across the batch. Probabilities come back in `sites` order, bitwise
-    /// identical to per-site [`EspModel::predict_prob`] — the entry point
-    /// for eval loops that previously called `predict` per site.
+    /// Batched site prediction: extract + encode every branch in `sites`
+    /// onto a contiguous row-major panel, then forward the panel through
+    /// the batch-major kernel (trees keep the per-row path). Probabilities
+    /// come back in `sites` order, bitwise identical to per-site
+    /// [`EspModel::predict_prob`] — the entry point for eval loops that
+    /// previously called `predict` per site.
     pub fn predict_prob_sites(
         &self,
         prog: &Program,
@@ -282,18 +366,32 @@ impl EspModel {
     ) -> Vec<f64> {
         let mut row = Vec::new();
         let mut mask = Vec::new();
-        let mut h = Vec::new();
-        sites
-            .iter()
-            .map(|&site| {
+        if let Fitted::Tree(t) = &self.fitted {
+            return sites
+                .iter()
+                .map(|&site| {
+                    let f = extract(prog, analysis, site);
+                    self.encoder.encode_into(&f, &mut row, &mut mask);
+                    t.predict(&row)
+                })
+                .collect();
+        }
+        BATCH_SCRATCH.with(|cell| {
+            let (panel, s64, s32) = &mut *cell.borrow_mut();
+            panel.clear();
+            for &site in sites {
                 let f = extract(prog, analysis, site);
                 self.encoder.encode_into(&f, &mut row, &mut mask);
-                match &self.fitted {
-                    Fitted::Net(m) => m.predict_with_scratch(&row, &mut h),
-                    Fitted::Tree(t) => t.predict(&row),
-                }
-            })
-            .collect()
+                panel.extend_from_slice(&row);
+            }
+            let mut out = Vec::with_capacity(sites.len());
+            match &self.fitted {
+                Fitted::Net(m) => m.predict_panel_into(panel, sites.len(), s64, &mut out),
+                Fitted::Quant(q) => q.predict_panel_into(panel, sites.len(), s32, &mut out),
+                Fitted::Tree(_) => unreachable!("handled above"),
+            }
+            out
+        })
     }
 
     /// Hard taken/not-taken prediction at the paper's 0.5 threshold.

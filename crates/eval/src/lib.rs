@@ -27,6 +27,7 @@ pub mod data;
 pub mod fmt;
 pub mod freq;
 pub mod miss;
+pub mod quant;
 pub mod scheme_study;
 pub mod table3;
 pub mod table4;
@@ -37,7 +38,8 @@ pub mod table7;
 pub use data::{BenchData, SuiteData};
 pub use miss::{expected_misses, miss_rate, Prediction};
 pub use table3::{table3, Table3Row};
-pub use table4::{table4, ModelCache, Table4Config, Table4Row};
+pub use quant::{FoldQuantReport, PublishOutcome, QuantGateConfig, QuantGateReport};
+pub use table4::{compute_with_quant, table4, ModelCache, Table4Config, Table4Row};
 pub use table5::{table5, Table5Row};
 pub use table6::table6;
 pub use table7::table7;

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use esp_artifact::{ModelArtifact, ModelMeta, Registry};
+use esp_artifact::{AnyArtifact, ModelArtifact, ModelMeta, Registry};
 use esp_core::{leave_one_out, EspConfig, EspModel, Learner, TrainingProgram};
 use esp_corpus::Group;
 use esp_heur::{
@@ -15,6 +15,9 @@ use esp_ir::{BranchId, Lang};
 use crate::data::SuiteData;
 use crate::fmt::{pct, TextTable};
 use crate::miss::{mean, miss_rate, Prediction};
+use crate::quant::{
+    within_bound, FoldQuantReport, PublishOutcome, QuantGateConfig, QuantGateReport,
+};
 
 /// Registry-backed caching of Table 4's per-fold models, so re-runs can skip
 /// the expensive leave-one-out retraining. Fold models are stored under the
@@ -40,6 +43,9 @@ pub struct Table4Config {
     pub esp: EspConfig,
     /// Optional fold-model cache (`--save-model` / `--load-model`).
     pub model_cache: Option<ModelCache>,
+    /// Optional f32 quantization gate (`--precision f32`): score each fold's
+    /// quantized model against its f64 reference and report/publish.
+    pub quant: Option<QuantGateConfig>,
 }
 
 /// One program's Table 4 row (fractions, not percentages).
@@ -67,6 +73,24 @@ pub struct Table4Row {
 /// ESP training fold per program (leave-one-out within the C group and
 /// within the Fortran group, §4).
 pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
+    compute_with_quant(suite, cfg).0
+}
+
+/// [`compute`], plus the f32 quantization gate when `cfg.quant` is set.
+///
+/// The gate rides the existing fold loop: right after each fold's f64 model
+/// scores its held-out program, the same model is quantized to f32 and
+/// scored on the same sites, prediction flips (`> 0.5` disagreements) are
+/// counted, and the fold's f32 miss rate is measured with the same
+/// accounting as the table. Folds within the flip bound are published to
+/// the gate's registry as `table4-<lang>-fold<i>-f32`; folds over it are
+/// refused. The returned report carries the pooled verdict. Table 4's rows
+/// are computed from the f64 models either way — the gate never perturbs
+/// the published numbers.
+pub fn compute_with_quant(
+    suite: &SuiteData,
+    cfg: &Table4Config,
+) -> (Vec<Table4Row>, Option<QuantGateReport>) {
     // Heuristic machinery shared by all programs.
     let aphc = Aphc::table1_order();
     let dshc_bl = Dshc::new(HeuristicRates::ball_larus_mips());
@@ -96,6 +120,7 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
         .iter()
         .map(|b| miss_rate(b, |_| Prediction::Uncovered))
         .collect();
+    let mut gate_folds: Vec<FoldQuantReport> = Vec::new();
     for lang in [Lang::C, Lang::Fort] {
         let idx = suite.lang_indices(lang);
         if idx.len() < 2 {
@@ -143,10 +168,23 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
             if sp.is_enabled() {
                 sp.arg("miss", esp_miss[bench_i]);
             }
+            if let Some(qcfg) = &cfg.quant {
+                gate_folds.push(quant_fold(
+                    suite,
+                    cfg,
+                    qcfg,
+                    lang,
+                    fold,
+                    bench_i,
+                    &model,
+                    &probs,
+                    esp_miss[bench_i],
+                ));
+            }
         }
     }
 
-    suite
+    let rows = suite
         .benches
         .iter()
         .enumerate()
@@ -163,7 +201,106 @@ pub fn compute(suite: &SuiteData, cfg: &Table4Config) -> Vec<Table4Row> {
                 perfect: miss_rate(b, |s| Prediction::from(perfect_predict(&b.profile, s))),
             }
         })
-        .collect()
+        .collect();
+    let gate = cfg.quant.as_ref().map(|q| QuantGateReport {
+        flip_bound: q.flip_bound,
+        folds: gate_folds,
+    });
+    (rows, gate)
+}
+
+/// One fold's leg of the f32 quantization gate: quantize the fold's f64
+/// model, rescore the held-out program, count prediction flips against the
+/// f64 probabilities, measure the f32 miss rate, and publish (or refuse)
+/// the quantized artifact. Tree learners cannot be quantized; their folds
+/// score zero sites and publish nothing.
+#[allow(clippy::too_many_arguments)]
+fn quant_fold(
+    suite: &SuiteData,
+    cfg: &Table4Config,
+    qcfg: &QuantGateConfig,
+    lang: Lang,
+    fold: usize,
+    bench_i: usize,
+    model: &EspModel,
+    probs: &[f64],
+    miss_f64: f64,
+) -> FoldQuantReport {
+    let b = &suite.benches[bench_i];
+    let lang_tag = match lang {
+        Lang::C => "c",
+        Lang::Fort => "fort",
+    };
+    let name = format!("table4-{lang_tag}-fold{fold}-f32");
+    let mut report = FoldQuantReport {
+        name: name.clone(),
+        bench: b.bench.name.to_string(),
+        sites: 0,
+        flips: 0,
+        miss_f64,
+        miss_f32: miss_f64,
+        outcome: PublishOutcome::NotRequested,
+    };
+    let Some(qmodel) = model.quantize() else {
+        return report; // tree learner: nothing to quantize
+    };
+    let sites = b.prog.branch_sites();
+    let qprobs = qmodel.predict_prob_sites(&b.prog, &b.analysis, &sites);
+    report.sites = sites.len();
+    report.flips = probs
+        .iter()
+        .zip(&qprobs)
+        .filter(|(p, q)| (**p > 0.5) != (**q > 0.5))
+        .count();
+    esp_obs::global_metrics()
+        .counter("esp_quant_flips_total")
+        .add(report.flips as u64);
+    let qtaken: HashMap<BranchId, bool> = sites
+        .iter()
+        .zip(&qprobs)
+        .map(|(&site, &p)| (site, p > 0.5))
+        .collect();
+    report.miss_f32 = miss_rate(b, |site| Prediction::from(qtaken.get(&site).copied()));
+    if let Some(dir) = &qcfg.publish {
+        if within_bound(report.flips, report.sites, qcfg.flip_bound) {
+            let seed = match &cfg.esp.learner {
+                Learner::Net(m) => m.seed,
+                _ => 0,
+            };
+            let meta = ModelMeta {
+                corpus_id: suite.config.name.to_string(),
+                seed,
+                fold: Some(fold as u32),
+                examples: model.num_examples() as u64,
+                train_config: train_config_stamp(&cfg.esp),
+            };
+            let reg = Registry::open(dir);
+            report.outcome = match ModelArtifact::from_model(model, meta, None)
+                .map(|a| AnyArtifact::F32(a.quantize()))
+                .and_then(|a| reg.save_any(&name, 1, &a))
+            {
+                Ok(path) => {
+                    eprintln!("  fold {name}: f32 artifact published to {}", path.display());
+                    PublishOutcome::Published(path)
+                }
+                Err(e) => {
+                    eprintln!("  fold {name}: cannot publish f32 artifact ({e})");
+                    PublishOutcome::Failed(e.to_string())
+                }
+            };
+        } else {
+            eprintln!(
+                "  fold {name}: REFUSED to publish f32 artifact \
+                 ({} of {} predictions flipped, rate {:.4} > bound {:.4})",
+                report.flips,
+                report.sites,
+                report.flip_rate(),
+                qcfg.flip_bound
+            );
+            report.outcome = PublishOutcome::Refused;
+        }
+    }
+    report
 }
 
 /// Canonical stamp for the parts of an [`EspConfig`] that change what a

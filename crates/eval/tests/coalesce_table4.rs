@@ -26,6 +26,7 @@ fn mini_cfg(coalesce: bool) -> Table4Config {
             ..EspConfig::default()
         },
         model_cache: None,
+        quant: None,
     }
 }
 

@@ -42,6 +42,7 @@ fn cache_is_bitwise_transparent_and_rejects_stale_configs() {
     let cfg_a = Table4Config {
         esp: esp_config(3, MlpConfig::default().seed),
         model_cache: cache(true, true),
+        quant: None,
     };
     let first = compute(&suite, &cfg_a);
     let second = compute(&suite, &cfg_a);
@@ -54,10 +55,12 @@ fn cache_is_bitwise_transparent_and_rejects_stale_configs() {
     let stale = Table4Config {
         esp: esp_b.clone(),
         model_cache: cache(false, true),
+        quant: None,
     };
     let no_cache = Table4Config {
         esp: esp_b,
         model_cache: None,
+        quant: None,
     };
     assert_eq!(
         compute(&suite, &stale),

@@ -23,6 +23,7 @@ fn mini_cfg() -> Table4Config {
             ..EspConfig::default()
         },
         model_cache: None,
+        quant: None,
     }
 }
 

@@ -47,10 +47,14 @@
 mod coalesce;
 mod mlp;
 mod norm;
+pub(crate) mod panel;
+mod quant;
 pub mod reference;
 mod tree;
 
 pub use coalesce::{coalesce_examples, CoalesceStats};
 pub use mlp::{LossKind, Mlp, MlpConfig, TrainExample, TrainReport};
 pub use norm::Normalizer;
+pub use panel::{PanelScratch, PANEL_LANES};
+pub use quant::QuantizedMlp;
 pub use tree::{DecisionTree, TreeConfig};

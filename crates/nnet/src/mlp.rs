@@ -283,6 +283,50 @@ impl Mlp {
         self.predict(x) > 0.5
     }
 
+    /// Batch-major panel forward: predict `rows` encoded examples stored
+    /// contiguously row-major in `panel` (`rows * num_inputs()` values),
+    /// pushing one probability per row onto `out`. Full
+    /// [`crate::PANEL_LANES`]-row tiles run the autovectorized panel kernel
+    /// (the `panel` module); remainder rows fall through to the scalar kernel.
+    /// Every lane preserves the scalar summation order, so the result is
+    /// **bitwise identical** to per-row [`Mlp::predict`] — asserted by
+    /// `tests/batch_kernel.rs` and the `bench_pipeline` exit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel.len() != rows * num_inputs()`.
+    pub fn predict_panel_into(
+        &self,
+        panel: &[f64],
+        rows: usize,
+        scratch: &mut crate::PanelScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(panel.len(), rows * self.inputs, "panel shape mismatch");
+        out.reserve(rows);
+        let full = rows - rows % crate::PANEL_LANES;
+        let mut base = 0;
+        while base < full {
+            crate::panel::panel_tile(
+                &self.params,
+                self.inputs,
+                self.hidden,
+                panel,
+                base,
+                scratch,
+                out,
+            );
+            base += crate::PANEL_LANES;
+        }
+        if scratch.tail.len() < self.hidden {
+            scratch.tail.resize(self.hidden, 0.0);
+        }
+        for r in base..rows {
+            let x = &panel[r * self.inputs..(r + 1) * self.inputs];
+            out.push(self.forward_into(x, &mut scratch.tail));
+        }
+    }
+
     /// Fused forward pass over the flat parameter buffer, writing hidden
     /// activations into `h` (`h.len() >= hidden`, enforced by callers) and
     /// returning `y`. Accumulation order matches the reference exactly: row

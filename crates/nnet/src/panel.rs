@@ -1,0 +1,185 @@
+//! Batch-major panel kernels: the autovectorizable multi-example forward
+//! pass.
+//!
+//! The scalar kernel in [`crate::Mlp`] walks one example at a time; its
+//! inner dot products are serial dependency chains (each `+=` waits on the
+//! last), so LLVM cannot vectorize them without reassociating the sum —
+//! which would change bits. The panel kernel keeps every per-example sum in
+//! the *exact* reference order and instead vectorizes **across examples**:
+//! a tile of [`PANEL_LANES`] rows is transposed into column-major scratch
+//! (`xt[j * LANES + r]` = feature `j` of row `r`), and each hidden unit
+//! accumulates a stack array of `LANES` independent lane sums,
+//!
+//! ```text
+//! for j in 0..inputs:            // same j-ascending order as the scalar path
+//!     for r in 0..LANES:         // independent lanes -> SIMD
+//!         acc[r] += w[i][j] * xt[j][r]
+//! ```
+//!
+//! Lane `r` performs precisely the additions the scalar kernel performs for
+//! row `r`, in the same order, from the same zero accumulator — so the f64
+//! panel kernel is **bitwise identical** to [`crate::Mlp::predict`], while
+//! the `r` loop (no cross-iteration dependence) autovectorizes. Rows beyond
+//! the last full tile fall through to the scalar kernel, which produces the
+//! same bits by the same argument.
+//!
+//! The kernel is generic over [`f64`] and [`f32`] through the private
+//! `PanelFloat` trait; the `f32` instantiation backs
+//! [`crate::QuantizedMlp`]'s serving path and is bitwise self-consistent
+//! with *its* scalar path (not with the f64 model — quantization changes
+//! values by design).
+
+use core::ops::{Add, AddAssign, Mul};
+
+/// Examples per panel tile. Eight keeps the lane accumulator block
+/// (`8 × f64` = one cache line) in registers while giving LLVM a full
+/// SSE2/AVX vector per unrolled step; the remainder path handles
+/// `rows % PANEL_LANES` scalar rows.
+pub const PANEL_LANES: usize = 8;
+
+/// Caller-owned scratch for the panel kernels: the transposed input tile,
+/// the batch-major hidden activations, and a spare hidden buffer for the
+/// scalar remainder rows. Grows to the model's shape once and is reused
+/// across calls — the hot loop performs no heap allocation after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct PanelScratch<T = f64> {
+    /// Column-major input tile: `xt[j * PANEL_LANES + r]`.
+    pub(crate) xt: Vec<T>,
+    /// Batch-major hidden activations: `h[i * PANEL_LANES + r]`.
+    pub(crate) h: Vec<T>,
+    /// Hidden scratch for the scalar remainder path.
+    pub(crate) tail: Vec<T>,
+}
+
+impl<T> PanelScratch<T> {
+    /// Fresh empty scratch; buffers grow on first use.
+    pub const fn new() -> Self {
+        PanelScratch {
+            xt: Vec::new(),
+            h: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+}
+
+/// The two element types the panel kernel is instantiated at. Sealed to the
+/// crate: the contract ("`squash` must match the corresponding scalar
+/// kernel's output step bit for bit") is an internal invariant.
+pub(crate) trait PanelFloat:
+    Copy + PartialEq + AddAssign + Add<Output = Self> + Mul<Output = Self> + std::fmt::Debug
+{
+    /// Additive identity — the accumulator start value, as in the scalar path.
+    const ZERO: Self;
+    /// Narrow (or pass through) one input feature.
+    fn cast(x: f64) -> Self;
+    /// `tanh` at this precision.
+    fn tanh_(self) -> Self;
+    /// The output squash `½·tanh(z) + ½`, computed at this precision and
+    /// only then widened to `f64` — bit-for-bit the scalar kernel's step.
+    fn squash(self) -> f64;
+}
+
+impl PanelFloat for f64 {
+    const ZERO: Self = 0.0;
+    #[inline]
+    fn cast(x: f64) -> f64 {
+        x
+    }
+    #[inline]
+    fn tanh_(self) -> f64 {
+        self.tanh()
+    }
+    #[inline]
+    fn squash(self) -> f64 {
+        0.5 * self.tanh() + 0.5
+    }
+}
+
+impl PanelFloat for f32 {
+    const ZERO: Self = 0.0;
+    #[inline]
+    fn cast(x: f64) -> f32 {
+        x as f32
+    }
+    #[inline]
+    fn tanh_(self) -> f32 {
+        self.tanh()
+    }
+    #[inline]
+    fn squash(self) -> f64 {
+        (0.5 * self.tanh() + 0.5) as f64
+    }
+}
+
+/// Forward one full tile of [`PANEL_LANES`] rows starting at row `base` of
+/// the row-major `panel`, pushing one probability per row onto `out`.
+/// `params` is the flat `[w rows | b | v | a]` buffer at the kernel's
+/// precision. Each lane reproduces the scalar summation order exactly; see
+/// the module docs for why that makes the f64 instantiation bitwise
+/// identical to the scalar path.
+pub(crate) fn panel_tile<T: PanelFloat>(
+    params: &[T],
+    inputs: usize,
+    hidden: usize,
+    panel: &[f64],
+    base: usize,
+    scratch: &mut PanelScratch<T>,
+    out: &mut Vec<f64>,
+) {
+    const L: usize = PANEL_LANES;
+    debug_assert!(panel.len() >= (base + L) * inputs);
+
+    // Transpose the tile: xt[j*L + r] = row (base+r), feature j.
+    scratch.xt.resize(inputs * L, T::ZERO);
+    let xt = scratch.xt.as_mut_slice();
+    for r in 0..L {
+        let row = &panel[(base + r) * inputs..(base + r + 1) * inputs];
+        for (j, &x) in row.iter().enumerate() {
+            xt[j * L + r] = T::cast(x);
+        }
+    }
+
+    if hidden == 0 {
+        let mut z = [T::ZERO; L];
+        for (col, &v) in xt.chunks_exact(L).zip(&params[..inputs]) {
+            for r in 0..L {
+                z[r] += v * col[r];
+            }
+        }
+        let a = params[inputs];
+        for zr in z {
+            out.push((zr + a).squash());
+        }
+        return;
+    }
+
+    let b_off = hidden * inputs;
+    let v_off = b_off + hidden;
+    scratch.h.resize(hidden * L, T::ZERO);
+    for i in 0..hidden {
+        let wrow = &params[i * inputs..(i + 1) * inputs];
+        let mut acc = [T::ZERO; L];
+        for (col, &w) in scratch.xt.chunks_exact(L).zip(wrow) {
+            for r in 0..L {
+                acc[r] += w * col[r];
+            }
+        }
+        let b = params[b_off + i];
+        let hrow = &mut scratch.h[i * L..(i + 1) * L];
+        for (hr, &ar) in hrow.iter_mut().zip(acc.iter()) {
+            *hr = (ar + b).tanh_();
+        }
+    }
+    let mut z = [T::ZERO; L];
+    for i in 0..hidden {
+        let v = params[v_off + i];
+        let hrow = &scratch.h[i * L..(i + 1) * L];
+        for r in 0..L {
+            z[r] += v * hrow[r];
+        }
+    }
+    let a = params[v_off + hidden];
+    for zr in z {
+        out.push((zr + a).squash());
+    }
+}

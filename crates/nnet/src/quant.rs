@@ -1,0 +1,179 @@
+//! The f32 serving model: a trained [`Mlp`] with its parameters narrowed to
+//! `f32`.
+//!
+//! Training never happens here — it stays f64 and bitwise-pinned. A
+//! [`QuantizedMlp`] is a *derived artifact*: each flat parameter is rounded
+//! once (`as f32`, IEEE round-to-nearest-even), and inference then runs
+//! entirely in f32 — inputs are narrowed per element at use, the squash is
+//! computed in f32 and only the final probability widens back to `f64`.
+//! Halving the parameter bytes roughly doubles the panel kernel's effective
+//! SIMD width, at the cost of predictions that may *flip* across the 0.5
+//! threshold relative to the f64 model; the eval-side flip gate
+//! (`esp_eval::quant`) measures that and refuses artifacts that flip too
+//! often.
+//!
+//! Both f32 paths — the scalar [`QuantizedMlp::predict`] and the panel
+//! [`QuantizedMlp::predict_panel_into`] — use the same per-example
+//! summation order, so they are bitwise identical to each other (asserted
+//! by `tests/batch_kernel.rs`). They are *not* expected to match the f64
+//! model bit for bit; that difference is the quantization error the gate
+//! quantifies.
+
+use crate::mlp::Mlp;
+use crate::panel::{panel_tile, PanelScratch, PANEL_LANES};
+
+/// An [`Mlp`] narrowed to f32 parameters for serving. Same flat layout
+/// (`[w rows | b | v | a]`), same topology; forward passes run in f32.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    /// Flat parameters in [`Mlp::flat_weights`] order, rounded to f32.
+    params: Vec<f32>,
+    inputs: usize,
+    hidden: usize,
+}
+
+impl QuantizedMlp {
+    /// Quantize a trained network: every flat parameter rounded to the
+    /// nearest f32. The source model is untouched.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        QuantizedMlp {
+            params: mlp.flat_weights().iter().map(|&w| w as f32).collect(),
+            inputs: mlp.num_inputs(),
+            hidden: mlp.num_hidden(),
+        }
+    }
+
+    /// Number of input units.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of hidden units.
+    pub fn num_hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total free parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat f32 parameter buffer — what `esp-artifact` persists as raw
+    /// IEEE-754 bits.
+    pub fn flat_weights(&self) -> Vec<f32> {
+        self.params.clone()
+    }
+
+    /// Rebuild from a topology plus the exact flat f32 buffer
+    /// [`QuantizedMlp::flat_weights`] produced; the persisted model predicts
+    /// bitwise-identically to the one that was quantized. `None` when the
+    /// length disagrees with the topology.
+    pub fn from_flat_weights(inputs: usize, hidden: usize, flat: &[f32]) -> Option<Self> {
+        if flat.len() != Mlp::param_count(inputs, hidden) {
+            return None;
+        }
+        Some(QuantizedMlp {
+            params: flat.to_vec(),
+            inputs,
+            hidden,
+        })
+    }
+
+    /// Taken-probability of one encoded row, computed in f32 (the row's f64
+    /// features are narrowed per element at use) and widened at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut h = vec![0.0f32; self.hidden];
+        self.predict_with_scratch(x, &mut h)
+    }
+
+    /// [`QuantizedMlp::predict`] with a caller-owned hidden scratch —
+    /// allocation-free once the scratch has grown to `hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model dimensionality.
+    pub fn predict_with_scratch(&self, x: &[f64], h: &mut Vec<f32>) -> f64 {
+        assert_eq!(x.len(), self.inputs, "input dimensionality mismatch");
+        if h.len() < self.hidden {
+            h.resize(self.hidden, 0.0);
+        }
+        self.forward_into(x, h)
+    }
+
+    /// The f32 mirror of `Mlp::forward_into`: identical loop structure and
+    /// summation order, arithmetic in f32 throughout.
+    #[inline]
+    fn forward_into(&self, x: &[f64], h: &mut [f32]) -> f64 {
+        debug_assert_eq!(x.len(), self.inputs);
+        debug_assert!(h.len() >= self.hidden);
+        let p = self.params.as_slice();
+        let inputs = self.inputs;
+        if self.hidden == 0 {
+            let mut z = 0.0f32;
+            for (v, xj) in p[..inputs].iter().zip(x) {
+                z += v * (*xj as f32);
+            }
+            z += p[inputs]; // output bias
+            return (0.5 * z.tanh() + 0.5) as f64;
+        }
+        let b_off = self.hidden * inputs;
+        for (i, hi) in h[..self.hidden].iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for (w, xj) in p[i * inputs..(i + 1) * inputs].iter().zip(x) {
+                s += w * (*xj as f32);
+            }
+            *hi = (s + p[b_off + i]).tanh();
+        }
+        let v_off = b_off + self.hidden;
+        let mut z = 0.0f32;
+        for (v, hi) in p[v_off..v_off + self.hidden].iter().zip(h.iter()) {
+            z += v * hi;
+        }
+        z += p[v_off + self.hidden]; // output bias
+        (0.5 * z.tanh() + 0.5) as f64
+    }
+
+    /// Batch-major panel forward over a contiguous row-major `panel` of
+    /// `rows` encoded examples: full [`PANEL_LANES`]-row tiles go through
+    /// the f32 panel kernel, remainder rows through the scalar f32 path —
+    /// bitwise identical to calling [`QuantizedMlp::predict`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel.len() != rows * num_inputs()`.
+    pub fn predict_panel_into(
+        &self,
+        panel: &[f64],
+        rows: usize,
+        scratch: &mut PanelScratch<f32>,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(panel.len(), rows * self.inputs, "panel shape mismatch");
+        out.reserve(rows);
+        let full = rows - rows % PANEL_LANES;
+        let mut base = 0;
+        while base < full {
+            panel_tile(
+                &self.params,
+                self.inputs,
+                self.hidden,
+                panel,
+                base,
+                scratch,
+                out,
+            );
+            base += PANEL_LANES;
+        }
+        if scratch.tail.len() < self.hidden {
+            scratch.tail.resize(self.hidden, 0.0);
+        }
+        for r in base..rows {
+            let x = &panel[r * self.inputs..(r + 1) * self.inputs];
+            out.push(self.forward_into(x, &mut scratch.tail));
+        }
+    }
+}

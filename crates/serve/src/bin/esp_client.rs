@@ -8,6 +8,7 @@
 //! esp-client bench     [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]
 //!                      [--requests N] [--batch N] [--keys N] [--seed S]
 //!                      [--out PATH] [--quick] [--threads N] [--cache N]
+//!                      [--predict-chunk N]
 //!                      [--trace-out FILE] [--metrics-out FILE]
 //! esp-client registry  (list | inspect --name M [--model-version V] | gc --name M --keep K)
 //!                      --dir DIR
@@ -17,10 +18,14 @@
 //! loopback port (from `--model`, or a synthetic artifact by default), runs
 //! the deterministic load generator against it, shuts it down, writes the
 //! report to `--out` (default `BENCH_serve.json`), and prints a one-line
-//! summary with the histogram's p50/p90/p99. `--quick` shrinks the run for
-//! CI. `--trace-out` records client-side spans into a Perfetto-loadable
-//! trace; `--metrics-out` saves the server's metrics text exposition (as
-//! carried by the final `STATS` reply).
+//! summary with the histogram's p50/p90/p99. Unless `--predict-chunk`
+//! pins it, the in-process bench first sweeps the server's miss fan-out
+//! chunk over a few candidates (uncached, so every row computes) and runs
+//! the main measurement with the fastest; the chosen value and its origin
+//! land in the JSON as `predict_chunk` / `predict_chunk_source`. `--quick`
+//! shrinks the run for CI. `--trace-out` records client-side spans into a
+//! Perfetto-loadable trace; `--metrics-out` saves the server's metrics text
+//! exposition (as carried by the final `STATS` reply).
 
 use std::path::Path;
 
@@ -86,7 +91,7 @@ fn main() {
                  \x20      esp-client bench [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]\n\
                  \x20                       [--requests N] [--batch N] [--keys N] [--seed S]\n\
                  \x20                       [--out PATH] [--quick] [--threads N] [--cache N]\n\
-                 \x20                       [--trace-out FILE] [--metrics-out FILE]\n\
+                 \x20                       [--predict-chunk N] [--trace-out FILE] [--metrics-out FILE]\n\
                  \x20      esp-client registry (list | inspect --name M [--model-version V] | gc --name M --keep K) --dir DIR"
             );
             std::process::exit(2);
@@ -114,13 +119,19 @@ fn bench(args: &[String]) {
     let out = flag_value(args, "--out").unwrap_or("BENCH_serve.json");
 
     // Either drive a remote server, or spawn one in-process for the run.
-    let (addr, handle, dim) = match flag_value(args, "--addr") {
+    let chunk_flag = flag_value(args, "--predict-chunk").map(|v| parse(v, "--predict-chunk"));
+    let (addr, handle, dim, chunk, chunk_source) = match flag_value(args, "--addr") {
         Some(addr) => {
             let dim = Client::connect(addr)
                 .and_then(|mut c| c.info())
                 .unwrap_or_else(|e| fail(format!("cannot query {addr}: {e}")))
                 .dim as usize;
-            (addr.to_string(), None, dim)
+            // A remote server's chunk is its own; report only what we know.
+            let (chunk, source) = match chunk_flag {
+                Some(c) => (c, "flag"),
+                None => (0, "default"),
+            };
+            (addr.to_string(), None, dim, chunk, source)
         }
         None => {
             let artifact = match flag_value(args, "--model") {
@@ -139,15 +150,24 @@ fn bench(args: &[String]) {
                     )
                 }
             };
-            let scfg = ServeConfig {
+            let mut scfg = ServeConfig {
                 threads: flag_value(args, "--threads").map_or(0, |v| parse(v, "--threads")),
                 cache_capacity: flag_value(args, "--cache").map_or(4096, |v| parse(v, "--cache")),
+                ..ServeConfig::default()
             };
             let dim = artifact.dim();
+            let (chunk, source) = match chunk_flag {
+                Some(c) => (c, "flag"),
+                None => (sweep_chunk(&artifact, &scfg, dim, quick), "sweep"),
+            };
+            scfg.predict_chunk = chunk;
             let handle = serve(&artifact, "127.0.0.1:0", &scfg)
                 .unwrap_or_else(|e| fail(format!("cannot start in-process server: {e}")));
-            eprintln!("spawned in-process server on {}", handle.addr());
-            (handle.addr().to_string(), Some(handle), dim)
+            eprintln!(
+                "spawned in-process server on {} (predict chunk {chunk}, {source})",
+                handle.addr()
+            );
+            (handle.addr().to_string(), Some(handle), dim, chunk, source)
         }
     };
 
@@ -155,7 +175,10 @@ fn bench(args: &[String]) {
         "load: {} requests x {} rows over {} distinct keys (seed {})",
         cfg.requests, cfg.batch, cfg.keys, cfg.seed
     );
-    let report = loadgen::run(&addr, dim, &cfg).unwrap_or_else(|e| fail(format!("bench: {e}")));
+    let mut report =
+        loadgen::run(&addr, dim, &cfg).unwrap_or_else(|e| fail(format!("bench: {e}")));
+    report.predict_chunk = chunk;
+    report.predict_chunk_source = chunk_source.to_string();
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -175,6 +198,55 @@ fn bench(args: &[String]) {
     }
     println!("{}", report.summary_line());
     println!("wrote {out}");
+}
+
+/// One-time sweep of the server's miss fan-out chunk: spawn a short-lived
+/// uncached server per candidate (so every row actually computes and the
+/// fan-out path is what's measured) and keep the rows/sec winner. The
+/// request stream is the usual deterministic generator, so candidates see
+/// identical work.
+fn sweep_chunk(
+    artifact: &ModelArtifact,
+    scfg: &ServeConfig,
+    dim: usize,
+    quick: bool,
+) -> usize {
+    const CANDIDATES: [usize; 5] = [8, 16, 32, 64, 128];
+    let probe = LoadGenConfig {
+        requests: if quick { 20 } else { 80 },
+        batch: 64, // above the parallel fan-out threshold
+        keys: 4096,
+        seed: 0xC4A17,
+    };
+    let mut best = (CANDIDATES[0], 0.0f64);
+    for &candidate in &CANDIDATES {
+        let cfg = ServeConfig {
+            cache_capacity: 0, // uncached: measure compute fan-out, not the LRU
+            predict_chunk: candidate,
+            ..scfg.clone()
+        };
+        let handle = match serve(artifact, "127.0.0.1:0", &cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("sweep: cannot start probe server ({e}); keeping default chunk 32");
+                return 32;
+            }
+        };
+        let rows_per_sec = match loadgen::run(&handle.addr().to_string(), dim, &probe) {
+            Ok(r) => r.predictions_per_sec,
+            Err(e) => {
+                eprintln!("sweep: probe at chunk {candidate} failed ({e}); skipping");
+                0.0
+            }
+        };
+        handle.shutdown();
+        eprintln!("sweep: predict chunk {candidate:>3} -> {rows_per_sec:>10.0} rows/s");
+        if rows_per_sec > best.1 {
+            best = (candidate, rows_per_sec);
+        }
+    }
+    eprintln!("sweep: chose predict chunk {}", best.0);
+    best.0
 }
 
 fn registry(args: &[String]) {

@@ -6,19 +6,24 @@
 //! esp-serve --synthetic DIM,HIDDEN,SEED [--addr …] …
 //! ```
 //!
-//! Exactly one model source is required. `--addr` defaults to
-//! `127.0.0.1:7871`; port `0` picks an ephemeral port (the bound address is
-//! printed either way). `--threads 0` (default) uses one worker per core for
-//! large batches; `--cache` is the LRU capacity in entries (`0` disables).
-//! The process runs until a client sends `SHUTDOWN` (see `esp-client`).
+//! Exactly one model source is required. Both artifact kinds load: f64
+//! models and quantized f32 models. `--precision f32|f64` overrides the
+//! artifact's native precision — an f64 artifact is quantized at load when
+//! `f32` is asked for; asking an f32 artifact for `f64` is an error.
+//! `--addr` defaults to `127.0.0.1:7871`; port `0` picks an ephemeral port
+//! (the bound address is printed either way). `--threads 0` (default) uses
+//! one worker per core for large batches; `--cache` is the LRU capacity in
+//! entries (`0` disables); `--predict-chunk` is the rows-per-worker chunk
+//! for batch fan-out (default 32). The process runs until a client sends
+//! `SHUTDOWN` (see `esp-client`).
 //!
 //! Observability: `--trace-out FILE` enables span tracing and writes a
 //! Perfetto-loadable trace on shutdown; `--metrics-out FILE` writes the
 //! server's Prometheus text exposition on shutdown (it is also served live
 //! by the `STATS` opcode).
 
-use esp_artifact::{ModelArtifact, Registry};
-use esp_serve::{serve, ServeConfig};
+use esp_artifact::{AnyArtifact, ModelArtifact, Registry};
+use esp_serve::{serve_any, Precision, ServeConfig};
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -34,7 +39,7 @@ fn parse<T: std::str::FromStr>(value: &str, what: &str) -> T {
     })
 }
 
-fn load_artifact(args: &[String]) -> ModelArtifact {
+fn load_artifact(args: &[String]) -> AnyArtifact {
     let fail = |msg: String| -> ! {
         eprintln!("{msg}");
         std::process::exit(2);
@@ -44,14 +49,14 @@ fn load_artifact(args: &[String]) -> ModelArtifact {
         flag_value(args, "--registry"),
         flag_value(args, "--synthetic"),
     ) {
-        (Some(path), None, None) => ModelArtifact::load(std::path::Path::new(path))
+        (Some(path), None, None) => AnyArtifact::load(std::path::Path::new(path))
             .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}"))),
         (None, Some(dir), None) => {
             let name = flag_value(args, "--name")
                 .unwrap_or_else(|| fail("--registry needs --name".into()));
             let version = flag_value(args, "--model-version").map(|v| parse(v, "--model-version"));
             let (v, artifact) = Registry::open(dir)
-                .load(name, version)
+                .load_any(name, version)
                 .unwrap_or_else(|e| fail(format!("cannot load {name} from {dir}: {e}")));
             eprintln!("loaded {name} v{v} from {dir}");
             artifact
@@ -61,11 +66,11 @@ fn load_artifact(args: &[String]) -> ModelArtifact {
             if parts.len() != 3 {
                 fail(format!("--synthetic takes DIM,HIDDEN,SEED, got {spec:?}"));
             }
-            ModelArtifact::synthetic(
+            AnyArtifact::F64(ModelArtifact::synthetic(
                 parse(parts[0], "--synthetic DIM"),
                 parse(parts[1], "--synthetic HIDDEN"),
                 parse(parts[2], "--synthetic SEED"),
-            )
+            ))
         }
         _ => fail("pick exactly one of --model PATH | --registry DIR --name M | --synthetic DIM,HIDDEN,SEED".into()),
     }
@@ -77,6 +82,7 @@ fn main() {
         eprintln!(
             "usage: esp-serve (--model PATH | --registry DIR --name M [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
              \x20                [--addr HOST:PORT] [--threads N] [--cache N]\n\
+             \x20                [--precision f32|f64] [--predict-chunk N]\n\
              \x20                [--trace-out FILE] [--metrics-out FILE]"
         );
         return;
@@ -88,26 +94,40 @@ fn main() {
     }
     let artifact = load_artifact(&args);
     let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7871");
+    let precision = flag_value(&args, "--precision").map(|v| {
+        v.parse::<Precision>().unwrap_or_else(|e| {
+            eprintln!("--precision: {e}");
+            std::process::exit(2);
+        })
+    });
     let cfg = ServeConfig {
         threads: flag_value(&args, "--threads").map_or(0, |v| parse(v, "--threads")),
         cache_capacity: flag_value(&args, "--cache").map_or(4096, |v| parse(v, "--cache")),
+        predict_chunk: flag_value(&args, "--predict-chunk")
+            .map_or(32, |v| parse(v, "--predict-chunk")),
+        precision,
     };
 
-    let mut handle = match serve(&artifact, addr, &cfg) {
+    let mut handle = match serve_any(&artifact, addr, &cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("cannot bind {addr}: {e}");
+            eprintln!("cannot serve on {addr}: {e}");
             std::process::exit(1);
         }
     };
+    let served_bits = match (artifact.precision_bits(), precision) {
+        (_, Some(Precision::F32)) | (32, None) => 32,
+        _ => 64,
+    };
     eprintln!(
-        "esp-serve listening on {} — model `{}` ({} inputs, {} hidden, format v{}); \
+        "esp-serve listening on {} — model `{}` ({} inputs, {} hidden, format v{}, f{} weights); \
          stop with `esp-client shutdown --addr {}`",
         handle.addr(),
-        artifact.meta.corpus_id,
+        artifact.meta().corpus_id,
         artifact.dim(),
-        artifact.mlp.num_hidden(),
+        artifact.hidden(),
         esp_artifact::FORMAT_VERSION,
+        served_bits,
         handle.addr(),
     );
     handle.wait();

@@ -45,4 +45,4 @@ pub use protocol::{
     FrameReader, PredictRow, Prediction, Request, Response, ServeError, ServerInfo,
     StatsSnapshot,
 };
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{serve, serve_any, Precision, ServeConfig, ServerHandle};

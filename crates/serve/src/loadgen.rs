@@ -68,6 +68,13 @@ pub struct LoadGenReport {
     pub hist_p99_us: u64,
     /// Server-side cache hit rate over the run's rows.
     pub cache_hit_rate: f64,
+    /// The server's miss fan-out chunk (rows per worker chunk) used for
+    /// this run; `0` when driving a remote server whose setting is unknown.
+    /// Filled in by the caller ([`run`] cannot see the server's config).
+    pub predict_chunk: usize,
+    /// Where `predict_chunk` came from: `"flag"` (`--predict-chunk`),
+    /// `"sweep"` (chosen by the bench's one-time sweep), or `"default"`.
+    pub predict_chunk_source: String,
     /// Server counters at the end of the run.
     pub server: StatsSnapshot,
 }
@@ -159,6 +166,8 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
         } else {
             hits as f64 / run_rows as f64
         },
+        predict_chunk: 0,
+        predict_chunk_source: "default".to_string(),
         server: after,
     })
 }
@@ -184,6 +193,11 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!("  \"hist_p90_us\": {},\n", r.hist_p90_us));
     s.push_str(&format!("  \"hist_p99_us\": {},\n", r.hist_p99_us));
     s.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", r.cache_hit_rate));
+    s.push_str(&format!("  \"predict_chunk\": {},\n", r.predict_chunk));
+    s.push_str(&format!(
+        "  \"predict_chunk_source\": \"{}\",\n",
+        r.predict_chunk_source
+    ));
     s.push_str("  \"server\": {\n");
     s.push_str(&format!(
         "    \"connections\": {},\n",
@@ -261,6 +275,8 @@ mod tests {
             hist_p90_us: 4095,
             hist_p99_us: 8191,
             cache_hit_rate: 0.82,
+            predict_chunk: 32,
+            predict_chunk_source: "sweep".to_string(),
             server: StatsSnapshot::default(),
         };
         let json = render_json(&r);
@@ -272,6 +288,8 @@ mod tests {
             "\"p99_ms\"",
             "\"hist_p90_us\"",
             "\"cache_hit_rate\"",
+            "\"predict_chunk\"",
+            "\"predict_chunk_source\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

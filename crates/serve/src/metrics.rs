@@ -42,6 +42,7 @@ pub struct Metrics {
     predict_compute_us: Arc<Log2Histogram>,
     batch_size: Arc<Log2Histogram>,
     cache_hit_ratio: Arc<Gauge>,
+    predict_precision: Arc<Gauge>,
 }
 
 impl Default for Metrics {
@@ -57,6 +58,7 @@ impl Default for Metrics {
         let predict_compute_us = registry.histogram("esp_serve_predict_compute_us");
         let batch_size = registry.histogram("esp_serve_batch_size");
         let cache_hit_ratio = registry.gauge("esp_serve_cache_hit_ratio");
+        let predict_precision = registry.gauge("esp_serve_predict_precision");
         Metrics {
             registry,
             connections,
@@ -69,6 +71,7 @@ impl Default for Metrics {
             predict_compute_us,
             batch_size,
             cache_hit_ratio,
+            predict_precision,
         }
     }
 }
@@ -94,6 +97,12 @@ impl Metrics {
     /// Record one predict batch's row count.
     pub fn record_batch_size(&self, rows: u64) {
         self.batch_size.record(rows);
+    }
+
+    /// Record the serving model's numeric precision (64 or 32 bits) on the
+    /// `esp_serve_predict_precision` gauge; set once at server start.
+    pub fn set_precision(&self, bits: u32) {
+        self.predict_precision.set(bits as f64);
     }
 
     /// Refresh the cache-hit-ratio gauge from the hit/miss counters.
@@ -177,6 +186,15 @@ mod tests {
         assert!(text.contains("esp_serve_predict_compute_us_count 1"));
         assert!(text.contains("esp_serve_predict_compute_us_sum 10"));
         assert!(text.contains("esp_serve_request_us_sum 1000"));
+    }
+
+    #[test]
+    fn precision_gauge_is_exposed() {
+        let m = Metrics::new();
+        m.set_precision(32);
+        assert!(m.render_text().contains("esp_serve_predict_precision 32"));
+        m.set_precision(64);
+        assert!(m.render_text().contains("esp_serve_predict_precision 64"));
     }
 
     #[test]

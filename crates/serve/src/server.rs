@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use esp_artifact::{ModelArtifact, FORMAT_VERSION};
+use esp_artifact::{AnyArtifact, ModelArtifact, FORMAT_VERSION};
 use esp_core::EspModel;
 use esp_runtime::parallel_map;
 
@@ -27,6 +27,26 @@ use crate::protocol::{
     write_frame, FrameReader, Prediction, Request, Response, ServeError, ServerInfo,
 };
 
+/// Numeric precision the server predicts at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Full f64 weights — bitwise identical to training-time prediction.
+    F64,
+    /// Quantized f32 weights — the compact serving path.
+    F32,
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            other => Err(format!("unknown precision {other:?} (expected f32 or f64)")),
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -34,6 +54,13 @@ pub struct ServeConfig {
     pub threads: usize,
     /// LRU cache capacity in entries; `0` disables the cache.
     pub cache_capacity: usize,
+    /// Rows per worker chunk when a batch's cache misses fan out over the
+    /// pool (`--predict-chunk`); clamped to at least 1.
+    pub predict_chunk: usize,
+    /// Serving precision; `None` = the artifact's native precision. An f64
+    /// artifact can be quantized down to f32 at load; an f32 artifact
+    /// cannot be served at f64 (the information is gone).
+    pub precision: Option<Precision>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +68,8 @@ impl Default for ServeConfig {
         ServeConfig {
             threads: 0,
             cache_capacity: 4096,
+            predict_chunk: 32,
+            precision: None,
         }
     }
 }
@@ -56,6 +85,7 @@ struct Shared {
     cache: Mutex<LruCache>,
     metrics: Metrics,
     threads: usize,
+    predict_chunk: usize,
     stop: AtomicBool,
 }
 
@@ -67,26 +97,75 @@ pub struct ServerHandle {
 }
 
 /// Start serving `artifact` on `addr` (use port `0` for an ephemeral port;
-/// the bound address is available via [`ServerHandle::addr`]).
+/// the bound address is available via [`ServerHandle::addr`]). With
+/// `cfg.precision = Some(Precision::F32)` the f64 artifact is quantized at
+/// load and served through the f32 kernel.
 pub fn serve(
     artifact: &ModelArtifact,
     addr: &str,
     cfg: &ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    let model = match cfg.precision {
+        Some(Precision::F32) => artifact.quantize().to_model(),
+        _ => artifact.to_model(),
+    };
+    let info = ServerInfo {
+        dim: artifact.dim() as u32,
+        hidden: artifact.mlp.num_hidden() as u32,
+        format_version: FORMAT_VERSION,
+        corpus_id: artifact.meta.corpus_id.clone(),
+    };
+    serve_model(model, info, addr, cfg)
+}
+
+/// [`serve`] for either artifact kind. The precision matrix: an f64
+/// artifact serves at its native f64 or quantizes down to f32 on request;
+/// an f32 artifact serves at f32 (requesting f64 from it is an
+/// `InvalidInput` error — the precision was discarded at quantization).
+pub fn serve_any(
+    artifact: &AnyArtifact,
+    addr: &str,
+    cfg: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let model = match (artifact, cfg.precision) {
+        (AnyArtifact::F64(a), Some(Precision::F32)) => a.quantize().to_model(),
+        (AnyArtifact::F64(a), _) => a.to_model(),
+        (AnyArtifact::F32(a), None | Some(Precision::F32)) => a.to_model(),
+        (AnyArtifact::F32(_), Some(Precision::F64)) => {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "artifact holds f32 (quantized) weights and cannot be served at f64; \
+                 load the f64 artifact instead",
+            ));
+        }
+    };
+    let info = ServerInfo {
+        dim: artifact.dim() as u32,
+        hidden: artifact.hidden() as u32,
+        format_version: FORMAT_VERSION,
+        corpus_id: artifact.meta().corpus_id.clone(),
+    };
+    serve_model(model, info, addr, cfg)
+}
+
+fn serve_model(
+    model: EspModel,
+    info: ServerInfo,
+    addr: &str,
+    cfg: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let metrics = Metrics::new();
+    metrics.set_precision(model.precision_bits());
     let shared = Arc::new(Shared {
-        info: ServerInfo {
-            dim: artifact.dim() as u32,
-            hidden: artifact.mlp.num_hidden() as u32,
-            format_version: FORMAT_VERSION,
-            corpus_id: artifact.meta.corpus_id.clone(),
-        },
-        model: artifact.to_model(),
+        info,
+        model,
         addr,
         cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-        metrics: Metrics::new(),
+        metrics,
         threads: cfg.threads,
+        predict_chunk: cfg.predict_chunk.max(1),
         stop: AtomicBool::new(false),
     });
 
@@ -268,7 +347,7 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
             .predict_prob_encoded_batch(idx.iter().map(|&i| (&rows[i].row[..], &rows[i].mask[..])))
     };
     let computed: Vec<f64> = if miss_idx.len() >= PARALLEL_BATCH_MIN && shared.threads != 1 {
-        let chunks: Vec<&[usize]> = miss_idx.chunks(32).collect();
+        let chunks: Vec<&[usize]> = miss_idx.chunks(shared.predict_chunk).collect();
         parallel_map(shared.threads, &chunks, |c| batch_of(c))
             .into_iter()
             .flatten()

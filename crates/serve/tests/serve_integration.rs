@@ -4,11 +4,11 @@
 //! bitwise identical to in-process inference — plus cache accounting and
 //! graceful shutdown.
 
-use esp_artifact::{ModelArtifact, ModelMeta, Registry};
+use esp_artifact::{AnyArtifact, ModelArtifact, ModelMeta, Registry};
 use esp_core::{encode, EspConfig, EspModel, Learner, TrainingProgram};
 use esp_eval::SuiteData;
 use esp_nnet::MlpConfig;
-use esp_serve::{serve, Client, PredictRow, ServeConfig};
+use esp_serve::{serve, serve_any, Client, Precision, PredictRow, ServeConfig};
 
 #[test]
 fn served_predictions_match_in_process_bitwise() {
@@ -113,6 +113,95 @@ fn served_predictions_match_in_process_bitwise() {
     client.shutdown().expect("shutdown ack");
     handle.join();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn f32_serving_matches_in_process_quantized_inference_bitwise() {
+    let artifact = ModelArtifact::synthetic(12, 4, 33);
+    let qmodel = artifact.quantize().to_model();
+
+    // Serve the f64 artifact quantized down at load (`--precision f32`).
+    let cfg = ServeConfig {
+        precision: Some(Precision::F32),
+        ..ServeConfig::default()
+    };
+    let handle = serve(&artifact, "127.0.0.1:0", &cfg).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+
+    let rows: Vec<PredictRow> = (0..40)
+        .map(|i| PredictRow {
+            row: (0..12).map(|j| ((i * 12 + j) as f64).sin()).collect(),
+            mask: (0..12).map(|j| (i + j) % 7 != 0).collect(),
+        })
+        .collect();
+    let preds = client.predict(rows.clone()).expect("predict");
+    for (i, (p, r)) in preds.iter().zip(&rows).enumerate() {
+        let local = qmodel.predict_prob_encoded(&r.row, &r.mask);
+        assert_eq!(
+            p.prob.to_bits(),
+            local.to_bits(),
+            "row {i}: served f32 {} != in-process f32 {local}",
+            p.prob
+        );
+    }
+
+    // The precision gauge reports the served width.
+    assert!(handle
+        .metrics_text()
+        .contains("esp_serve_predict_precision 32"));
+    handle.shutdown();
+
+    // A quantized artifact round-trips bytes and serves the same bits.
+    let q = AnyArtifact::F32(artifact.quantize());
+    let q = AnyArtifact::from_bytes(&q.to_bytes()).expect("f32 artifact round-trips");
+    let handle = serve_any(&q, "127.0.0.1:0", &ServeConfig::default()).expect("serve f32 kind");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+    let preds2 = client.predict(rows.clone()).expect("predict");
+    for (p, p2) in preds.iter().zip(&preds2) {
+        assert_eq!(p.prob.to_bits(), p2.prob.to_bits());
+    }
+    handle.shutdown();
+
+    // Asking an f32 artifact for f64 precision is refused at startup.
+    match serve_any(
+        &q,
+        "127.0.0.1:0",
+        &ServeConfig {
+            precision: Some(Precision::F64),
+            ..ServeConfig::default()
+        },
+    ) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("f32 artifact must not serve at f64"),
+    }
+}
+
+#[test]
+fn predict_chunk_of_one_is_bitwise_identical() {
+    // The fan-out chunk size is a pure performance knob: the degenerate
+    // chunk of 1 row per worker must produce the same bits as the default.
+    let artifact = ModelArtifact::synthetic(10, 3, 77);
+    let rows: Vec<PredictRow> = (0..64)
+        .map(|i| PredictRow {
+            row: (0..10).map(|j| ((i + j * 31) as f64).cos()).collect(),
+            mask: vec![true; 10],
+        })
+        .collect();
+
+    let mut got = Vec::new();
+    for chunk in [1usize, 32] {
+        let cfg = ServeConfig {
+            predict_chunk: chunk,
+            cache_capacity: 0, // force every row through the compute path
+            ..ServeConfig::default()
+        };
+        let handle = serve(&artifact, "127.0.0.1:0", &cfg).expect("bind");
+        let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+        let preds = client.predict(rows.clone()).expect("predict");
+        got.push(preds.iter().map(|p| p.prob.to_bits()).collect::<Vec<_>>());
+        handle.shutdown();
+    }
+    assert_eq!(got[0], got[1], "chunk size changed prediction bits");
 }
 
 #[test]

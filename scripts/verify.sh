@@ -32,7 +32,9 @@ if [[ "$fast" -eq 0 ]]; then
     for key in phases setup_ms encode_ms profile_ms train_ms crossval_ms \
                total_ms tracing_overhead_pct tracing_identical \
                kernel coalesce_ratio train_examples_per_sec \
-               train_allocs_per_epoch kernel_speedup kernel_identical; do
+               train_allocs_per_epoch kernel_speedup kernel_identical \
+               predict_rows_per_sec predict_rows_per_sec_f32 \
+               batch_kernel_speedup batch_kernel_identical f32_kernel_identical; do
         grep -q "\"$key\"" BENCH_pipeline.json \
             || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
     done
@@ -40,13 +42,18 @@ if [[ "$fast" -eq 0 ]]; then
         || { echo "tracing changed the trained weights" >&2; exit 1; }
     grep -q '"kernel_identical": true' BENCH_pipeline.json \
         || { echo "fused kernel diverged from the two-pass reference" >&2; exit 1; }
+    grep -q '"batch_kernel_identical": true' BENCH_pipeline.json \
+        || { echo "panel kernel diverged bitwise from the scalar path" >&2; exit 1; }
+    grep -q '"f32_kernel_identical": true' BENCH_pipeline.json \
+        || { echo "f32 panel kernel diverged from the f32 scalar path" >&2; exit 1; }
 
     echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
     cargo run --release --offline -q -p esp-serve --bin esp-client -- \
         bench --quick --metrics-out metrics_serve.prom
     echo "==> BENCH_serve.json:"
     cat BENCH_serve.json
-    for key in throughput_rps predictions_per_sec p50_ms p99_ms hist_p90_us cache_hit_rate; do
+    for key in throughput_rps predictions_per_sec p50_ms p99_ms hist_p90_us cache_hit_rate \
+               predict_chunk predict_chunk_source; do
         grep -q "\"$key\"" BENCH_serve.json \
             || { echo "BENCH_serve.json is missing \"$key\"" >&2; exit 1; }
     done
@@ -85,6 +92,16 @@ PYEOF
     done
     echo "metrics OK: $(grep -c '^# TYPE' metrics_obs.prom) families exposed"
     rm -f trace_obs.json metrics_obs.prom
+
+    echo "==> f32 quantization gate (2-fold Table 4 subset, flip bound 0.05)"
+    cargo run --release --offline -q -p esp-bench --bin repro_tables -- \
+        table4 --quick --subset sort,grep --precision f32 --flip-bound 0.05 \
+        | tee table4_f32.txt
+    grep -q 'f32_flip_rate=' table4_f32.txt \
+        || { echo "gate report is missing f32_flip_rate" >&2; exit 1; }
+    grep -q 'gate: PASS' table4_f32.txt \
+        || { echo "f32 flip rate exceeded the 0.05 bound" >&2; exit 1; }
+    rm -f table4_f32.txt
 fi
 
 echo "==> verify OK"

@@ -27,6 +27,7 @@ fn quick_table4() -> Table4Config {
             ..EspConfig::default()
         },
         model_cache: None,
+        quant: None,
     }
 }
 

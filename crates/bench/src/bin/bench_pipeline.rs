@@ -29,6 +29,14 @@
 //! f32 quantized model against its own scalar path
 //! (`predict_rows_per_sec_f32`, `f32_kernel_identical`).
 //!
+//! A `"sim"` block exercises the trace-driven dynamic-predictor arena: a
+//! fixed slice of the suite is traced (`sim_trace_record_ms`), then
+//! replayed twice through bimodal + gshare + TAGE + the profile-seeded
+//! TAGE hybrid. One replay's single-core throughput lands in
+//! `sim_branches_per_sec` (event × predictor steps per second); the second
+//! replay must produce bitwise-identical results (`sim_deterministic`, the
+//! run fails otherwise — the sim has no clocks and no RNG by design).
+//!
 //! ```text
 //! bench_pipeline [--quick] [--threads N] [--out PATH]
 //! ```
@@ -362,6 +370,77 @@ fn main() {
          ({predict_rows_per_sec_f32:.0} rows/s), self-consistent: {f32_kernel_identical}"
     );
 
+    // ---- sim: trace-driven dynamic-predictor arena -----------------------
+    // Record the outcome streams of a fixed slice of the suite, then replay
+    // them twice through the full arena (bimodal + gshare + TAGE + the
+    // profile-seeded TAGE hybrid). The second replay is the determinism
+    // A/B: the sim has no clocks and no RNG, so the two results must be
+    // bitwise equal or the run fails. Throughput is single-core
+    // event × predictor steps per second of one replay.
+    let sim_take = if quick { 3 } else { 8 };
+    let sim_benches: Vec<&esp_eval::BenchData> = suite.benches.iter().take(sim_take).collect();
+    eprintln!(
+        "sim: tracing {} programs, replaying the predictor arena (A/B)…",
+        sim_benches.len()
+    );
+    let (traces, sim_trace_record_ms) = time_ms(|| {
+        sim_benches
+            .iter()
+            .map(|b| {
+                esp_sim::collect_trace(&b.prog, &limits)
+                    .expect("corpus program runs")
+                    .0
+            })
+            .collect::<Vec<_>>()
+    });
+    // Seed the hybrid from the profile's own per-site frequencies — the
+    // bench measures the machinery, not fold training.
+    let sim_priors: Vec<Vec<f64>> = sim_benches
+        .iter()
+        .map(|b| {
+            b.prog
+                .branch_sites()
+                .iter()
+                .map(|&s| {
+                    b.profile
+                        .counts(s)
+                        .and_then(|c| c.taken_prob())
+                        .unwrap_or(0.5)
+                })
+                .collect()
+        })
+        .collect();
+    let arena_cfg = esp_sim::ArenaConfig::default();
+    let replay_all = || -> Vec<esp_sim::ArenaResult> {
+        traces
+            .iter()
+            .zip(&sim_priors)
+            .map(|(t, p)| esp_sim::replay_arena(t, &[], Some(p), &arena_cfg).expect("replay"))
+            .collect()
+    };
+    let (sim_a, sim_replay_ms) = time_ms(replay_all);
+    let (sim_b, _) = time_ms(replay_all);
+    let sim_deterministic = sim_a == sim_b;
+    let sim_events_total: u64 = sim_a.iter().map(|r| r.events).sum();
+    const SIM_PREDICTORS: u64 = 4; // bimodal, gshare, tage, esp+tage
+    let sim_branches_per_sec = if sim_replay_ms > 0.0 {
+        (sim_events_total * SIM_PREDICTORS) as f64 / (sim_replay_ms / 1e3)
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  sim: {sim_events_total} events x {SIM_PREDICTORS} predictors in {sim_replay_ms:.1} ms \
+         ({sim_branches_per_sec:.0} branch-predictions/s), deterministic: {sim_deterministic}"
+    );
+    let sim = SimReport {
+        programs: sim_benches.len(),
+        events_total: sim_events_total,
+        trace_record_ms: sim_trace_record_ms,
+        replay_ms: sim_replay_ms,
+        branches_per_sec: sim_branches_per_sec,
+        deterministic: sim_deterministic,
+    };
+
     // ---- stage 3: leave-one-out cross-validation (folds) -----------------
     let cv_pool: Vec<TrainingProgram<'_>> = if quick {
         programs.iter().take(8).map(|tp| TrainingProgram {
@@ -448,6 +527,7 @@ fn main() {
         &stages,
         &phases,
         &kernel,
+        &sim,
         threads,
         cores,
         quick,
@@ -475,6 +555,10 @@ fn main() {
     }
     if !f32_kernel_identical {
         eprintln!("ERROR: the f32 panel kernel diverged from the f32 scalar path");
+        std::process::exit(1);
+    }
+    if !sim_deterministic {
+        eprintln!("ERROR: two identical arena replays diverged — the sim is not deterministic");
         std::process::exit(1);
     }
 }
@@ -509,6 +593,17 @@ struct KernelReport {
     f32_kernel_identical: bool,
 }
 
+/// The `"sim"` block of the report: the trace-driven predictor arena's
+/// throughput and its determinism A/B.
+struct SimReport {
+    programs: usize,
+    events_total: u64,
+    trace_record_ms: f64,
+    replay_ms: f64,
+    branches_per_sec: f64,
+    deterministic: bool,
+}
+
 /// Wall-clock of each pipeline phase (parallel variant where both exist).
 struct Phases {
     setup_ms: f64,
@@ -533,6 +628,7 @@ fn render_json(
     stages: &[StageResult],
     phases: &Phases,
     kernel: &KernelReport,
+    sim: &SimReport,
     threads: usize,
     cores: usize,
     quick: bool,
@@ -595,6 +691,23 @@ fn render_json(
     s.push_str(&format!(
         "    \"f32_kernel_identical\": {}\n",
         kernel.f32_kernel_identical
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"sim\": {\n");
+    s.push_str(&format!("    \"sim_programs\": {},\n", sim.programs));
+    s.push_str(&format!("    \"sim_events_total\": {},\n", sim.events_total));
+    s.push_str(&format!(
+        "    \"sim_trace_record_ms\": {:.3},\n",
+        sim.trace_record_ms
+    ));
+    s.push_str(&format!("    \"sim_replay_ms\": {:.3},\n", sim.replay_ms));
+    s.push_str(&format!(
+        "    \"sim_branches_per_sec\": {:.0},\n",
+        sim.branches_per_sec
+    ));
+    s.push_str(&format!(
+        "    \"sim_deterministic\": {}\n",
+        sim.deterministic
     ));
     s.push_str("  },\n");
     s.push_str("  \"stages\": [\n");

@@ -1,10 +1,11 @@
 //! Regenerate every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|all] [--quick] [--threads N]
+//! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|dyn|all] [--quick] [--threads N]
 //!              [--save-model DIR] [--load-model DIR] [--subset NAME,NAME,…]
 //!              [--trace-out FILE] [--metrics-out FILE] [--coalesce on|off]
 //!              [--precision f32|f64] [--flip-bound B]
+//!              [--dynamic] [--trace-dir DIR] [--warmup N]
 //! ```
 //!
 //! `--quick` shrinks the ESP learner (fewer epochs, fewer hidden units) so
@@ -38,6 +39,17 @@
 //! printed precision (`crates/eval/tests/coalesce_table4.rs` pins this) —
 //! and shrinks the per-epoch work by the corpus duplication factor.
 //!
+//! `--dynamic` (or the `dyn` artifact name) renders the static-vs-dynamic
+//! arena table: every program's conditional-branch outcome stream replayed
+//! through bimodal / gshare / TAGE / the ESP-seeded TAGE hybrid next to the
+//! event-scored BTFNT and ESP static schemes, pooled per language, with the
+//! warmup-window hybrid-vs-TAGE verdict. `--trace-dir DIR` caches the
+//! recorded `.esptrace` streams under `DIR` (validated against the current
+//! profile before reuse, exactly like the fold-model registry); `--warmup N`
+//! sets the warmup window (default 2048 events). `dyn` is deliberately not
+//! part of `all`: it retrains (or reloads) the same leave-one-out folds as
+//! Table 4, so run it separately, ideally sharing `--save-model`/`--load-model`.
+//!
 //! `--precision f32` (default `f64`) runs the f32 quantization gate on
 //! Table 4: each fold's f64 model is quantized, rescored on its held-out
 //! program, prediction flips and the f32 miss-rate delta are reported (and
@@ -50,10 +62,103 @@
 use esp_core::{EspConfig, Learner};
 use esp_eval::{
     compute_with_quant, fig1, table3, table5, table6, table7, ModelCache, QuantGateConfig,
-    SuiteData, Table4Config,
+    SuiteData, Table4Config, TableDynConfig,
 };
 use esp_lang::CompilerConfig;
 use esp_nnet::MlpConfig;
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--quick", "--dynamic"];
+
+/// Flags that consume the next argument as their value.
+const VALUE_FLAGS: &[&str] = &[
+    "--threads",
+    "--save-model",
+    "--load-model",
+    "--subset",
+    "--trace-out",
+    "--metrics-out",
+    "--coalesce",
+    "--precision",
+    "--flip-bound",
+    "--trace-dir",
+    "--warmup",
+];
+
+/// Parsed command line: every `--flag` checked against the known sets (an
+/// unknown flag is a hard error, not a silently ignored typo), repeated
+/// `--flag VALUE` extraction behind one helper.
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `std::env::args`, rejecting unknown flags with exit 2.
+    fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if a.starts_with("--") {
+                if VALUE_FLAGS.contains(&a) {
+                    if i + 1 >= args.len() {
+                        eprintln!("flag `{a}` needs a value");
+                        std::process::exit(2);
+                    }
+                    i += 1; // skip the value
+                } else if !BOOL_FLAGS.contains(&a) {
+                    eprintln!(
+                        "unknown flag `{a}`; known flags: {} and {}",
+                        VALUE_FLAGS.join(", "),
+                        BOOL_FLAGS.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        Flags { args }
+    }
+
+    /// Is the boolean `flag` present?
+    fn bool(&self, flag: &str) -> bool {
+        debug_assert!(BOOL_FLAGS.contains(&flag));
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The value following `--flag`, if present.
+    fn value(&self, flag: &str) -> Option<&str> {
+        debug_assert!(VALUE_FLAGS.contains(&flag));
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// `--flag N` parsed as a number, or `default`.
+    fn number<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.value(flag) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("flag `{flag}` takes a number, got `{v}`");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The first positional (non-flag, non-flag-value) argument.
+    fn positional(&self) -> Option<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .find(|&(i, a)| {
+                let follows_value_flag = i > 0 && VALUE_FLAGS.contains(&self.args[i - 1].as_str());
+                !a.starts_with("--") && !follows_value_flag
+            })
+            .map(|(_, a)| a.as_str())
+    }
+}
 
 fn esp_config(quick: bool, threads: usize, coalesce: bool) -> EspConfig {
     let mlp = if quick {
@@ -82,28 +187,18 @@ fn esp_config(quick: bool, threads: usize, coalesce: bool) -> EspConfig {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--threads takes a number"))
-        .unwrap_or(0);
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-    };
-    let trace_out = flag_value("--trace-out").map(std::path::PathBuf::from);
-    let metrics_out = flag_value("--metrics-out").map(std::path::PathBuf::from);
+    let flags = Flags::parse();
+    let quick = flags.bool("--quick");
+    let threads: usize = flags.number("--threads", 0);
+    let trace_out = flags.value("--trace-out").map(std::path::PathBuf::from);
+    let metrics_out = flags.value("--metrics-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
         esp_obs::trace::enable();
     }
-    let subset: Option<Vec<String>> = flag_value("--subset")
+    let subset: Option<Vec<String>> = flags
+        .value("--subset")
         .map(|s| s.split(',').map(str::to_string).collect());
-    let coalesce = match flag_value("--coalesce") {
+    let coalesce = match flags.value("--coalesce") {
         None | Some("on") => true,
         Some("off") => false,
         Some(other) => {
@@ -111,8 +206,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let save_dir = flag_value("--save-model");
-    let load_dir = flag_value("--load-model");
+    let save_dir = flags.value("--save-model");
+    let load_dir = flags.value("--load-model");
     let model_cache = match (save_dir, load_dir) {
         (None, None) => None,
         (Some(s), Some(l)) if s != l => {
@@ -125,12 +220,10 @@ fn main() {
             load: l.is_some(),
         }),
     };
-    let quant = match flag_value("--precision") {
+    let quant = match flags.value("--precision") {
         None | Some("f64") => None,
         Some("f32") => Some(QuantGateConfig {
-            flip_bound: flag_value("--flip-bound")
-                .map(|v| v.parse().expect("--flip-bound takes a number"))
-                .unwrap_or(0.02),
+            flip_bound: flags.number("--flip-bound", 0.02),
             // Publish quantized fold artifacts next to the f64 folds when a
             // save registry is in play; a load-only cache is left untouched.
             publish: model_cache
@@ -143,29 +236,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // Flags that consume the next argument, so it can't be the artifact name.
-    let value_flags = [
-        "--threads",
-        "--save-model",
-        "--load-model",
-        "--subset",
-        "--trace-out",
-        "--metrics-out",
-        "--coalesce",
-        "--precision",
-        "--flip-bound",
-    ];
-    let what = args
-        .iter()
-        .enumerate()
-        .find(|&(i, a)| {
-            let follows_value_flag = i > 0 && value_flags.contains(&args[i - 1].as_str());
-            !a.starts_with("--") && !follows_value_flag
-        })
-        .map(|(_, a)| a.as_str())
-        .unwrap_or("all");
+    let what = flags
+        .positional()
+        .unwrap_or(if flags.bool("--dynamic") { "dyn" } else { "all" });
 
-    let needs_suite = matches!(what, "table3" | "table4" | "table5" | "table6" | "fig2" | "all");
+    let needs_suite = matches!(
+        what,
+        "table3" | "table4" | "table5" | "table6" | "fig2" | "dyn" | "all"
+    );
     let suite = needs_suite.then(|| match &subset {
         Some(names) => {
             eprintln!("building + profiling a {}-program subset…", names.len());
@@ -209,6 +287,21 @@ fn main() {
             println!("{}", table6(suite.as_ref().expect("built above")));
         }
         "table7" => println!("{}", table7()),
+        "dyn" => {
+            let s = suite.as_ref().expect("built above");
+            eprintln!(
+                "running the dynamic-predictor arena over {} programs{}…",
+                s.benches.len(),
+                if quick { ", quick mode" } else { "" }
+            );
+            let cfg = TableDynConfig {
+                esp: esp_config(quick, threads, coalesce),
+                model_cache: model_cache.clone(),
+                trace_dir: flags.value("--trace-dir").map(std::path::PathBuf::from),
+                warmup_events: flags.number("--warmup", 2048),
+            };
+            println!("{}", esp_eval::table_dyn(s, &cfg));
+        }
         "fig1" => println!("{}", fig1(10)),
         "fig2" => {
             let s = suite.as_ref().expect("built above");
@@ -239,7 +332,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown artifact `{other}`; expected table3|table4|table5|table6|table7|fig1|fig2|extras|scheme|all"
+                "unknown artifact `{other}`; expected table3|table4|table5|table6|table7|fig1|fig2|dyn|extras|scheme|all"
             );
             std::process::exit(2);
         }

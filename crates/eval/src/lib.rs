@@ -12,7 +12,10 @@
 //!   languages;
 //! * [`table7()`](fn@table7) — one program under four compiler configurations;
 //! * [`fig1`] — the network topology; [`fig2`](casestudy::fig2) — the
-//!   tomcatv case study.
+//!   tomcatv case study;
+//! * [`table_dyn`](fn@table_dyn) — beyond the paper: the static schemes against
+//!   trace-driven dynamic predictors (bimodal / gshare / TAGE / ESP-seeded
+//!   TAGE hybrid) replayed over recorded `.esptrace` outcome streams.
 //!
 //! The entry point used by the `repro_tables` binary and the integration
 //! tests is [`SuiteData::build`] + the per-table `render`/`compute`
@@ -32,6 +35,7 @@ pub mod scheme_study;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod table_dyn;
 pub mod table6;
 pub mod table7;
 
@@ -41,6 +45,7 @@ pub use table3::{table3, Table3Row};
 pub use quant::{FoldQuantReport, PublishOutcome, QuantGateConfig, QuantGateReport};
 pub use table4::{compute_with_quant, table4, ModelCache, Table4Config, Table4Row};
 pub use table5::{table5, Table5Row};
+pub use table_dyn::{table_dyn, PooledRates, TableDynConfig, TableDynReport, TableDynRow};
 pub use table6::table6;
 pub use table7::table7;
 

@@ -324,7 +324,7 @@ fn train_config_stamp(cfg: &EspConfig) -> String {
 /// trained model, so the table is unchanged either way; anything else
 /// (different seed or feature set, a `--quick` registry read by a full run)
 /// is retrained.
-fn fold_model(
+pub(crate) fn fold_model(
     suite: &SuiteData,
     cfg: &Table4Config,
     lang: Lang,

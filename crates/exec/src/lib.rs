@@ -46,11 +46,13 @@
 mod error;
 mod machine;
 mod profile;
+mod sink;
 mod value;
 
 pub use error::ExecError;
-pub use machine::{run, ExecLimits, Outcome};
+pub use machine::{run, run_with_sink, ExecLimits, Outcome};
 pub use profile::{BranchCounts, Profile};
+pub use sink::{BranchSink, NullSink};
 pub use value::Value;
 
 use esp_ir::Program;

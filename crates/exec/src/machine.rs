@@ -7,6 +7,7 @@ use esp_ir::{
 
 use crate::error::ExecError;
 use crate::profile::Profile;
+use crate::sink::{BranchSink, NullSink};
 use crate::value::Value;
 
 /// Resource limits for one execution.
@@ -128,6 +129,24 @@ fn fpu(op: FpuOp, a: f64, b: Option<f64>) -> f64 {
 /// * [`ExecError::BadAddress`] on null or out-of-range memory accesses;
 /// * [`ExecError::Type`] on dynamic type mismatches or a malformed program.
 pub fn run(prog: &Program, limits: &ExecLimits) -> Result<Outcome, ExecError> {
+    run_with_sink(prog, limits, &mut NullSink)
+}
+
+/// [`run`], additionally streaming every conditional-branch outcome to
+/// `sink` in execution order (see [`BranchSink`]). The sink is observation
+/// only: the profile, return value and error behaviour are identical to
+/// [`run`] — aggregating the sink's events per site reproduces the
+/// profile's counts exactly. Monomorphized per sink type, so [`run`]'s
+/// [`NullSink`] costs nothing.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_sink<S: BranchSink>(
+    prog: &Program,
+    limits: &ExecLimits,
+    sink: &mut S,
+) -> Result<Outcome, ExecError> {
     if validate_program(prog).is_err() {
         return Err(ExecError::Type {
             expected: "well-formed program",
@@ -287,6 +306,7 @@ pub fn run(prog: &Program, limits: &ExecLimits) -> Result<Outcome, ExecError> {
                     }
                 };
                 profile.record_branch(BranchId { func, block }, cond);
+                sink.branch(BranchId { func, block }, cond);
                 block = if cond { *taken } else { *not_taken };
             }
             Terminator::Call {
@@ -396,6 +416,29 @@ mod tests {
         assert_eq!(out.profile.dyn_cond_branches, 101);
         // head block ran 101 times
         assert_eq!(out.profile.block_count(FuncId(0), BlockId(1)), 101);
+    }
+
+    #[test]
+    fn sink_observes_every_branch_in_execution_order() {
+        let p = sum_to(50);
+        let mut events: Vec<(BranchId, bool)> = Vec::new();
+        let out = run_with_sink(&p, &ExecLimits::default(), &mut |id, taken: bool| {
+            events.push((id, taken))
+        })
+        .unwrap();
+        // Same result and profile as the sink-less run.
+        let plain = run(&p, &ExecLimits::default()).unwrap();
+        assert_eq!(out.ret, plain.ret);
+        let site = p.branch_sites()[0];
+        // The loop head branch resolves taken 50 times then not-taken once,
+        // in that order.
+        assert_eq!(events.len(), 51);
+        assert!(events[..50].iter().all(|&(id, t)| id == site && t));
+        assert_eq!(events[50], (site, false));
+        // Aggregating the stream reproduces the profile's counts.
+        let c = out.profile.counts(site).unwrap();
+        assert_eq!(c.executed, events.len() as u64);
+        assert_eq!(c.taken, events.iter().filter(|&&(_, t)| t).count() as u64);
     }
 
     #[test]

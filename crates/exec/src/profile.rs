@@ -16,6 +16,13 @@ pub struct BranchCounts {
 impl BranchCounts {
     /// Fraction of executions in which the branch was taken, or `None` when
     /// it never executed.
+    ///
+    /// This is the per-site ground-truth probability every study keys on:
+    /// the training target of the ESP network (§3.1) and the oracle the
+    /// Wu–Larus frequency estimation consults. It is exactly
+    /// `taken / executed` — no smoothing, no prior — so a branch that ran
+    /// once reports `0.0` or `1.0`, and one that never ran reports `None`
+    /// rather than a fabricated `0.5`.
     pub fn taken_prob(&self) -> Option<f64> {
         (self.executed > 0).then(|| self.taken as f64 / self.executed as f64)
     }
@@ -23,6 +30,14 @@ impl BranchCounts {
     /// Mispredictions of the *perfect static* predictor for this branch: the
     /// minority direction count (the paper's "perfect static profile
     /// prediction", Table 4 last column).
+    ///
+    /// A static predictor picks **one** direction per site, so the best any
+    /// static scheme can do is predict the majority direction and eat the
+    /// minority mass: `perfect_misses == min(taken, not_taken)` where
+    /// `not_taken = executed - taken`. Replaying a recorded outcome trace
+    /// through a fixed majority-direction prediction must reproduce this
+    /// count event-for-event (`crates/sim/tests/trace_consistency.rs` pins
+    /// that equivalence against the streaming trace sink).
     pub fn perfect_misses(&self) -> u64 {
         self.taken.min(self.executed - self.taken)
     }

@@ -1,0 +1,306 @@
+//! The predictor arena: replay one recorded trace through every static and
+//! dynamic scheme simultaneously and tally expected mispredictions.
+//!
+//! Static schemes are per-site direction assignments (`Option<bool>`, with
+//! `None` = site uncovered by the scheme); an uncovered site is charged
+//! 0.5 misses per event, matching `esp-eval`'s expected-miss convention so
+//! the static columns of the dynamic table agree with Table 4 exactly.
+//! Dynamic predictors implement [`Predictor`] and are stepped
+//! predict-then-update per event in recorded execution order.
+//!
+//! Besides whole-trace misses the arena separately tallies misses inside
+//! the **warmup window** (the first [`ArenaConfig::warmup_events`] events):
+//! the regime where the ESP-seeded hybrid's prior should pay off against a
+//! cold TAGE.
+
+use crate::bimodal::Bimodal;
+use crate::gshare::Gshare;
+use crate::predictor::Predictor;
+use crate::tage::{Tage, TageConfig};
+use crate::trace::{Trace, TraceError};
+
+/// A static prediction scheme: one fixed direction (or nothing) per site in
+/// the trace's site table.
+#[derive(Debug, Clone)]
+pub struct StaticScheme<'a> {
+    /// Display name for the result row (e.g. `"BTFNT"`, `"ESP"`).
+    pub name: String,
+    /// Per-site predicted direction, indexed like `Trace::sites`; `None`
+    /// means the scheme does not cover the site (charged 0.5 per event).
+    pub preds: &'a [Option<bool>],
+}
+
+/// Arena geometry: dynamic-predictor table sizes and the warmup window.
+#[derive(Debug, Clone)]
+pub struct ArenaConfig {
+    /// Events counted as "warmup" for the separate warmup-miss tally.
+    pub warmup_events: u64,
+    /// log2 entries of the standalone bimodal predictor.
+    pub bimodal_log2: u32,
+    /// log2 entries of the gshare table.
+    pub gshare_log2: u32,
+    /// History bits folded into the gshare index.
+    pub gshare_hist: u32,
+    /// Geometry of both TAGE variants (cold and ESP-seeded).
+    pub tage: TageConfig,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        ArenaConfig {
+            warmup_events: 2048,
+            bimodal_log2: 12,
+            gshare_log2: 12,
+            gshare_hist: 12,
+            tage: TageConfig::default(),
+        }
+    }
+}
+
+/// Miss tallies for one scheme over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeResult {
+    /// Scheme name (static name or `Predictor::name`).
+    pub name: String,
+    /// Expected misses over the whole trace (fractional only for static
+    /// schemes with uncovered sites).
+    pub misses: f64,
+    /// Expected misses inside the warmup window.
+    pub warmup_misses: f64,
+}
+
+/// Result of one arena replay: every scheme's tallies over the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaResult {
+    /// Total events replayed.
+    pub events: u64,
+    /// Size of the warmup window actually applied (≤ `events`).
+    pub warmup_events: u64,
+    /// Per-scheme tallies: statics first (caller order), then `bimodal`,
+    /// `gshare`, `tage`, and `esp+tage` when priors were supplied.
+    pub schemes: Vec<SchemeResult>,
+}
+
+impl ArenaResult {
+    /// Tallies for the named scheme.
+    pub fn scheme(&self, name: &str) -> Option<&SchemeResult> {
+        self.schemes.iter().find(|s| s.name == name)
+    }
+
+    /// Whole-trace miss rate (misses / events) for the named scheme.
+    pub fn miss_rate(&self, name: &str) -> Option<f64> {
+        if self.events == 0 {
+            return None;
+        }
+        Some(self.scheme(name)?.misses / self.events as f64)
+    }
+}
+
+/// Replay `trace` through all static schemes, the three cold dynamic
+/// predictors (bimodal, gshare, TAGE) and — when `esp_priors` is given —
+/// the ESP-seeded TAGE hybrid whose base table starts from the trained
+/// network's per-site taken-probabilities.
+///
+/// Deterministic: same trace and inputs, bitwise-same result, every time.
+///
+/// # Errors
+///
+/// [`TraceError::Malformed`] when a static scheme's or the priors' length
+/// does not match the trace's site table, or when the trace's packed stream
+/// is invalid.
+pub fn replay_arena(
+    trace: &Trace,
+    statics: &[StaticScheme<'_>],
+    esp_priors: Option<&[f64]>,
+    cfg: &ArenaConfig,
+) -> Result<ArenaResult, TraceError> {
+    let n_sites = trace.num_sites();
+    for s in statics {
+        if s.preds.len() != n_sites {
+            return Err(TraceError::Malformed(format!(
+                "static scheme '{}' covers {} sites, trace has {n_sites}",
+                s.name,
+                s.preds.len()
+            )));
+        }
+    }
+    if let Some(p) = esp_priors {
+        if p.len() != n_sites {
+            return Err(TraceError::Malformed(format!(
+                "{} ESP priors for {n_sites} trace sites",
+                p.len()
+            )));
+        }
+    }
+
+    let _sp = esp_obs::span!(
+        "sim",
+        "replay_arena",
+        program = trace.program.as_str(),
+        events = trace.events
+    );
+
+    let mut dynamics: Vec<Box<dyn Predictor>> = vec![
+        Box::new(Bimodal::new(cfg.bimodal_log2)),
+        Box::new(Gshare::new(cfg.gshare_log2, cfg.gshare_hist)),
+        Box::new(Tage::new(cfg.tage.clone())),
+    ];
+    if let Some(priors) = esp_priors {
+        dynamics.push(Box::new(Tage::with_seeded_base(cfg.tage.clone(), priors)));
+    }
+
+    let warmup = cfg.warmup_events.min(trace.events);
+    let mut static_miss = vec![(0.0f64, 0.0f64); statics.len()];
+    let mut dyn_miss = vec![(0u64, 0u64); dynamics.len()];
+    let mut event_no = 0u64;
+
+    trace.replay(|site, taken| {
+        let in_warmup = event_no < warmup;
+        for (s, m) in statics.iter().zip(static_miss.iter_mut()) {
+            let miss = match s.preds[site as usize] {
+                Some(dir) => {
+                    if dir == taken {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                None => 0.5,
+            };
+            m.0 += miss;
+            if in_warmup {
+                m.1 += miss;
+            }
+        }
+        let pc = site as u64;
+        for (d, m) in dynamics.iter_mut().zip(dyn_miss.iter_mut()) {
+            let pred = d.predict(pc);
+            d.update(pc, taken, pred);
+            if pred != taken {
+                m.0 += 1;
+                if in_warmup {
+                    m.1 += 1;
+                }
+            }
+        }
+        event_no += 1;
+    })?;
+
+    let metrics = esp_obs::global_metrics();
+    metrics.counter("esp_sim_replays_total").add(1);
+    metrics.counter("esp_sim_events_total").add(trace.events);
+    metrics
+        .counter("esp_sim_predictor_ops_total")
+        .add(trace.events * dynamics.len() as u64);
+
+    let mut schemes = Vec::with_capacity(statics.len() + dynamics.len());
+    for (s, &(miss, wmiss)) in statics.iter().zip(&static_miss) {
+        schemes.push(SchemeResult {
+            name: s.name.clone(),
+            misses: miss,
+            warmup_misses: wmiss,
+        });
+    }
+    for (d, &(miss, wmiss)) in dynamics.iter().zip(&dyn_miss) {
+        schemes.push(SchemeResult {
+            name: d.name().to_string(),
+            misses: miss as f64,
+            warmup_misses: wmiss as f64,
+        });
+    }
+    Ok(ArenaResult {
+        events: trace.events,
+        warmup_events: warmup,
+        schemes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use esp_ir::{BlockId, BranchId, FuncId};
+
+    fn two_site_trace(events_per_site: u32) -> Trace {
+        let sites = vec![
+            BranchId {
+                func: FuncId(0),
+                block: BlockId(0),
+            },
+            BranchId {
+                func: FuncId(0),
+                block: BlockId(1),
+            },
+        ];
+        let mut b = TraceBuilder::new("toy", sites);
+        for i in 0..events_per_site {
+            b.record(0, true); // site 0 always taken
+            b.record(1, i % 2 == 0); // site 1 alternates
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn static_scheme_accounting_matches_hand_counts() {
+        let trace = two_site_trace(100);
+        let always = vec![Some(true), Some(true)];
+        let uncovered = vec![Some(true), None];
+        let statics = [
+            StaticScheme {
+                name: "always-taken".into(),
+                preds: &always,
+            },
+            StaticScheme {
+                name: "half-covered".into(),
+                preds: &uncovered,
+            },
+        ];
+        let r = replay_arena(&trace, &statics, None, &ArenaConfig::default()).unwrap();
+        // always-taken: site 0 never misses, site 1 misses the 50 not-taken.
+        assert_eq!(r.scheme("always-taken").unwrap().misses, 50.0);
+        // half-covered: site 1 uncovered → 0.5 × 100 events.
+        assert_eq!(r.scheme("half-covered").unwrap().misses, 50.0);
+        assert_eq!(r.events, 200);
+    }
+
+    #[test]
+    fn dynamic_predictors_present_and_ordered() {
+        let trace = two_site_trace(50);
+        let priors = vec![0.95, 0.5];
+        let r = replay_arena(&trace, &[], Some(&priors), &ArenaConfig::default()).unwrap();
+        let names: Vec<&str> = r.schemes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["bimodal", "gshare", "tage", "esp+tage"]);
+        // gshare learns the alternation; bimodal cannot.
+        let g = r.scheme("gshare").unwrap().misses;
+        let b = r.scheme("bimodal").unwrap().misses;
+        assert!(g < b, "gshare {g} should beat bimodal {b} on alternation");
+    }
+
+    #[test]
+    fn replay_arena_is_deterministic() {
+        let trace = two_site_trace(200);
+        let priors = vec![0.9, 0.1];
+        let a = replay_arena(&trace, &[], Some(&priors), &ArenaConfig::default()).unwrap();
+        let b = replay_arena(&trace, &[], Some(&priors), &ArenaConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mismatched_scheme_length_is_a_typed_error() {
+        let trace = two_site_trace(1);
+        let short = vec![Some(true)];
+        let statics = [StaticScheme {
+            name: "short".into(),
+            preds: &short,
+        }];
+        let err = replay_arena(&trace, &statics, None, &ArenaConfig::default()).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn warmup_window_clamps_to_trace_length() {
+        let trace = two_site_trace(3); // 6 events
+        let r = replay_arena(&trace, &[], None, &ArenaConfig::default()).unwrap();
+        assert_eq!(r.warmup_events, 6);
+    }
+}

@@ -1,0 +1,92 @@
+//! The dynamic-predictor interface the arena drives.
+//!
+//! Every predictor sees the same stream the hardware would: for each
+//! dynamic conditional branch, first [`Predictor::predict`] with the
+//! branch's address, then [`Predictor::update`] with the actual outcome.
+//! Predictors are free to cache lookup state between the two calls — the
+//! arena guarantees `update` follows `predict` for the same `pc` with
+//! nothing in between, exactly like a simulation loop stepping one branch
+//! at a time.
+//!
+//! In this reproduction the "address" of a branch is its index into the
+//! program's `Program::branch_sites` table. Addresses are therefore small,
+//! dense and collision-free in sufficiently large base tables — which is
+//! what lets the ESP-seeded hybrid pre-bias one base entry per static site.
+
+/// A dynamic branch predictor stepped one event at a time.
+pub trait Predictor {
+    /// Short stable identifier used in tables and metrics (e.g. `"gshare"`).
+    fn name(&self) -> &'static str;
+
+    /// Predict the direction of the branch at `pc` (true = taken).
+    ///
+    /// Takes `&mut self` so implementations can cache the table lookup for
+    /// the `update` call that follows.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Observe the actual outcome of the branch at `pc`. `predicted` is the
+    /// value this predictor just returned from [`Predictor::predict`] for
+    /// the same event (handed back so implementations need not store it).
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool);
+}
+
+/// Saturating 2-bit counter helpers shared by the table-based predictors.
+/// States: 0 strongly not-taken, 1 weakly not-taken, 2 weakly taken,
+/// 3 strongly taken; predict taken when `>= 2`.
+#[inline]
+pub(crate) fn ctr2_update(ctr: &mut u8, taken: bool) {
+    if taken {
+        if *ctr < 3 {
+            *ctr += 1;
+        }
+    } else if *ctr > 0 {
+        *ctr -= 1;
+    }
+}
+
+/// Map a probability-of-taken to a 2-bit counter seed: confident
+/// probabilities land in the strong states, lukewarm ones in the weak
+/// states, and exactly-0.5 keeps the conventional weakly-not-taken reset
+/// value. Used by the ESP-seeded hybrid to convert the trained network's
+/// per-site output into an initial counter.
+#[inline]
+pub(crate) fn ctr2_from_prob(p: f64) -> u8 {
+    if p >= 0.85 {
+        3
+    } else if p > 0.5 {
+        2
+    } else if p <= 0.15 {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctr2_saturates_at_both_ends() {
+        let mut c = 3u8;
+        ctr2_update(&mut c, true);
+        assert_eq!(c, 3);
+        for _ in 0..5 {
+            ctr2_update(&mut c, false);
+        }
+        assert_eq!(c, 0);
+        ctr2_update(&mut c, false);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn prob_seeding_bands() {
+        assert_eq!(ctr2_from_prob(0.99), 3);
+        assert_eq!(ctr2_from_prob(0.85), 3);
+        assert_eq!(ctr2_from_prob(0.7), 2);
+        assert_eq!(ctr2_from_prob(0.5), 1); // neutral: conventional reset
+        assert_eq!(ctr2_from_prob(0.3), 1);
+        assert_eq!(ctr2_from_prob(0.15), 0);
+        assert_eq!(ctr2_from_prob(0.01), 0);
+    }
+}

@@ -1,0 +1,579 @@
+//! The `.esptrace` on-disk format: a per-program conditional-branch outcome
+//! stream in execution order, compact enough to cache next to fold models.
+//!
+//! # Layout (trace format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ESPT"
+//! 4       4     trace format version, u32 LE  (this file: 1)
+//! 8       8     payload length, u64 LE
+//! 16      4     CRC32(payload), u32 LE        (IEEE polynomial)
+//! 20      …     payload
+//! ```
+//!
+//! Payload, little-endian:
+//!
+//! ```text
+//! str    program          (u32 byte length + UTF-8)
+//! u32    site count
+//! (u32, u32) × count      branch sites as (func, block) pairs, in
+//!                         `Program::branch_sites` order — event site
+//!                         indices refer to this table
+//! u64    event count      total dynamic conditional-branch executions
+//! bytes  packed stream    run-length records to end of payload
+//! ```
+//!
+//! The packed stream is a sequence of `(token, run)` records, both LEB128
+//! varints: `token = site_index << 1 | taken`, `run` = how many consecutive
+//! events carry that exact token. Tight loops whose body has no other
+//! branch collapse to a couple of bytes per thousand iterations; fully
+//! interleaved streams cost one or two bytes per event. Decoding is
+//! strictly validated: site indices beyond the table, streams that decode
+//! to the wrong event count, or bytes left over after the last record are
+//! all typed [`TraceError`]s — like `.espm`, never panics on hostile input.
+//!
+//! **Version policy** mirrors `esp-artifact`: any layout change bumps
+//! [`TRACE_FORMAT_VERSION`]; readers reject other versions with
+//! [`TraceError::UnsupportedVersion`] and callers regenerate the trace
+//! (they always can — the interpreter is deterministic).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use esp_artifact::bytes::{crc32, ByteWriter};
+use esp_exec::{BranchSink, ExecLimits, Outcome};
+use esp_ir::{BlockId, BranchId, FuncId, Program};
+
+/// File magic: the first four bytes of every `.esptrace` file.
+pub const TRACE_MAGIC: [u8; 4] = *b"ESPT";
+
+/// Current trace format version. Bump on **any** layout change.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size preceding the payload.
+pub const TRACE_HEADER_LEN: usize = 20;
+
+/// Everything that can go wrong reading or replaying a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `ESPT` magic — not a trace.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The payload's CRC32 does not match the header — the file is damaged.
+    CorruptChecksum {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// The file ends before the declared data does.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The bytes decode but describe an impossible trace (site index out of
+    /// range, event-count mismatch, trailing garbage, …).
+    Malformed(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not an ESP branch trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::CorruptChecksum { expected, actual } => write!(
+                f,
+                "payload checksum mismatch (header {expected:#010x}, computed {actual:#010x})"
+            ),
+            TraceError::Truncated { needed, available } => write!(
+                f,
+                "trace truncated: needed {needed} more bytes, {available} available"
+            ),
+            TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A decoded (or freshly recorded) per-program branch-outcome trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Name of the program the trace was recorded from.
+    pub program: String,
+    /// The static branch sites events refer to, in `Program::branch_sites`
+    /// order; event site indices index into this table.
+    pub sites: Vec<BranchId>,
+    /// Total dynamic conditional-branch events in the stream.
+    pub events: u64,
+    /// The run-length packed event stream.
+    packed: Vec<u8>,
+}
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(pos) else {
+            return Err(TraceError::Truncated {
+                needed: 1,
+                available: 0,
+            });
+        };
+        pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(TraceError::Malformed("varint overflows u64".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+impl Trace {
+    /// Number of static branch sites in the site table.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Size of the packed event stream in bytes (compression diagnostics).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Replay the stream in recorded order, calling `f(site_index, taken)`
+    /// once per event.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] when a site index is out of range, when the
+    /// stream decodes to a different number of events than the header
+    /// declares, or on a zero-length run; [`TraceError::Truncated`] when a
+    /// record is cut short.
+    pub fn replay(&self, mut f: impl FnMut(u32, bool)) -> Result<u64, TraceError> {
+        let n_sites = self.sites.len() as u64;
+        let mut pos = 0usize;
+        let mut n = 0u64;
+        while pos < self.packed.len() {
+            let (token, p) = read_varint(&self.packed, pos)?;
+            let (run, p) = read_varint(&self.packed, p)?;
+            pos = p;
+            let site = token >> 1;
+            let taken = token & 1 == 1;
+            if site >= n_sites {
+                return Err(TraceError::Malformed(format!(
+                    "event site index {site} out of range ({n_sites} sites)"
+                )));
+            }
+            if run == 0 {
+                return Err(TraceError::Malformed("zero-length run".into()));
+            }
+            if n + run > self.events {
+                return Err(TraceError::Malformed(format!(
+                    "stream holds more than the declared {} events",
+                    self.events
+                )));
+            }
+            for _ in 0..run {
+                f(site as u32, taken);
+            }
+            n += run;
+        }
+        if n != self.events {
+            return Err(TraceError::Malformed(format!(
+                "stream decoded {n} events, header declares {}",
+                self.events
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Serialize to the `.esptrace` byte layout. Deterministic: the same
+    /// trace always produces the same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = ByteWriter::new();
+        p.str(&self.program);
+        p.u32(self.sites.len() as u32);
+        for s in &self.sites {
+            p.u32(s.func.0);
+            p.u32(s.block.0);
+        }
+        p.u64(self.events);
+        let mut payload = p.into_bytes();
+        payload.extend_from_slice(&self.packed);
+
+        let mut h = ByteWriter::new();
+        h.u8(TRACE_MAGIC[0]);
+        h.u8(TRACE_MAGIC[1]);
+        h.u8(TRACE_MAGIC[2]);
+        h.u8(TRACE_MAGIC[3]);
+        h.u32(TRACE_FORMAT_VERSION);
+        h.u64(payload.len() as u64);
+        h.u32(crc32(&payload));
+        let mut bytes = h.into_bytes();
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Decode an `.esptrace` byte buffer, verifying magic, version, declared
+    /// length and checksum before touching the payload, then fully decoding
+    /// the site table and validating the event stream end to end. Never
+    /// panics on hostile input: every failure is a typed [`TraceError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut c = Cursor::new(bytes);
+        let magic = [c.u8()?, c.u8()?, c.u8()?, c.u8()?];
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let payload_len = c.u64()? as usize;
+        let expected_crc = c.u32()?;
+        if c.remaining() < payload_len {
+            return Err(TraceError::Truncated {
+                needed: payload_len,
+                available: c.remaining(),
+            });
+        }
+        if c.remaining() > payload_len {
+            return Err(TraceError::Malformed(format!(
+                "{} bytes beyond the declared payload",
+                c.remaining() - payload_len
+            )));
+        }
+        let payload = &bytes[TRACE_HEADER_LEN..];
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(TraceError::CorruptChecksum {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+
+        let mut c = Cursor::new(payload);
+        let program = c.str()?;
+        let n_sites = c.u32()? as usize;
+        if c.remaining() < n_sites * 8 {
+            return Err(TraceError::Truncated {
+                needed: n_sites * 8,
+                available: c.remaining(),
+            });
+        }
+        let mut sites = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            sites.push(BranchId {
+                func: FuncId(c.u32()?),
+                block: BlockId(c.u32()?),
+            });
+        }
+        let events = c.u64()?;
+        let packed = payload[payload.len() - c.remaining()..].to_vec();
+        let trace = Trace {
+            program,
+            sites,
+            events,
+            packed,
+        };
+        // Validate the stream once up front, so `replay` on a loaded trace
+        // can only fail if the caller's closure panics.
+        trace.replay(|_, _| {})?;
+        Ok(trace)
+    }
+
+    /// Write the trace to `path` atomically (temp file + rename), so a
+    /// crash mid-write never leaves a half-trace behind.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("esptrace.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and decode a trace from `path`.
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Minimal bounds-checked little-endian reader (the trace payload mixes
+/// structured fields with a raw varint tail, which `esp-artifact`'s reader
+/// cannot hand back as a slice).
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
+            return Err(TraceError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, TraceError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TraceError::Malformed("string is not valid UTF-8".into()))
+    }
+}
+
+/// Incremental trace recorder: feed it events in execution order, get a
+/// [`Trace`] back. Consecutive events with the same `(site, taken)` pair
+/// are run-length merged on the fly, so memory stays proportional to the
+/// *packed* size during recording.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    program: String,
+    sites: Vec<BranchId>,
+    packed: Vec<u8>,
+    events: u64,
+    cur_token: u64,
+    cur_run: u64,
+}
+
+impl TraceBuilder {
+    /// Start recording for `program` whose static branch sites are `sites`
+    /// (pass `Program::branch_sites()`; event indices refer to this order).
+    pub fn new(program: impl Into<String>, sites: Vec<BranchId>) -> Self {
+        TraceBuilder {
+            program: program.into(),
+            sites,
+            packed: Vec::new(),
+            events: 0,
+            cur_token: u64::MAX,
+            cur_run: 0,
+        }
+    }
+
+    /// Record one event: the branch at site-table index `site` resolved in
+    /// direction `taken`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is outside the site table — recording callers
+    /// control both sides, so that is a bug, not an input error.
+    pub fn record(&mut self, site: u32, taken: bool) {
+        assert!(
+            (site as usize) < self.sites.len(),
+            "site index {site} out of range ({} sites)",
+            self.sites.len()
+        );
+        let token = (site as u64) << 1 | taken as u64;
+        if token == self.cur_token {
+            self.cur_run += 1;
+        } else {
+            self.flush();
+            self.cur_token = token;
+            self.cur_run = 1;
+        }
+        self.events += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.cur_run > 0 {
+            push_varint(&mut self.packed, self.cur_token);
+            push_varint(&mut self.packed, self.cur_run);
+            self.cur_run = 0;
+        }
+    }
+
+    /// Finish recording and produce the trace.
+    pub fn finish(mut self) -> Trace {
+        self.flush();
+        Trace {
+            program: self.program,
+            sites: self.sites,
+            events: self.events,
+            packed: self.packed,
+        }
+    }
+}
+
+/// Run `prog` through the interpreter with a streaming trace sink attached:
+/// the usual [`Outcome`] (profile included) plus the recorded [`Trace`],
+/// whose per-site aggregates match the profile's counts exactly.
+///
+/// # Errors
+///
+/// Exactly the [`esp_exec::ExecError`]s of [`esp_exec::run`].
+pub fn collect_trace(
+    prog: &Program,
+    limits: &ExecLimits,
+) -> Result<(Trace, Outcome), esp_exec::ExecError> {
+    let _sp = esp_obs::span!("sim", "collect_trace", program = prog.name.as_str());
+    let sites = prog.branch_sites();
+    let index: HashMap<BranchId, u32> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let mut sink = SinkAdapter {
+        builder: TraceBuilder::new(prog.name.clone(), sites),
+        index,
+    };
+    let outcome = esp_exec::run_with_sink(prog, limits, &mut sink)?;
+    let trace = sink.builder.finish();
+    esp_obs::global_metrics()
+        .counter("esp_sim_trace_events_total")
+        .add(trace.events);
+    Ok((trace, outcome))
+}
+
+/// [`BranchSink`] that feeds a [`TraceBuilder`], translating [`BranchId`]s
+/// to site-table indices.
+struct SinkAdapter {
+    builder: TraceBuilder,
+    index: HashMap<BranchId, u32>,
+}
+
+impl BranchSink for SinkAdapter {
+    #[inline]
+    fn branch(&mut self, id: BranchId, taken: bool) {
+        let site = *self
+            .index
+            .get(&id)
+            .expect("interpreter reported a branch outside Program::branch_sites");
+        self.builder.record(site, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(b: u32) -> BranchId {
+        BranchId {
+            func: FuncId(0),
+            block: BlockId(b),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("sample", vec![site(0), site(1), site(7)]);
+        for _ in 0..1000 {
+            b.record(0, true);
+        }
+        b.record(0, false);
+        b.record(1, true);
+        b.record(2, false);
+        b.record(1, true);
+        b.finish()
+    }
+
+    #[test]
+    fn run_length_packing_collapses_loops() {
+        let t = sample_trace();
+        assert_eq!(t.events, 1004);
+        // 1000 identical events cost one record: ~4 bytes.
+        assert!(t.packed_bytes() < 16, "packed {} bytes", t.packed_bytes());
+    }
+
+    #[test]
+    fn replay_preserves_order_and_count() {
+        let t = sample_trace();
+        let mut got = Vec::new();
+        let n = t.replay(|s, taken| got.push((s, taken))).unwrap();
+        assert_eq!(n, 1004);
+        assert_eq!(got.len(), 1004);
+        assert!(got[..1000].iter().all(|&e| e == (0, true)));
+        assert_eq!(&got[1000..], &[(0, false), (1, true), (2, false), (1, true)]);
+    }
+
+    #[test]
+    fn bytes_round_trip_is_identical() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn varint_round_trips_at_the_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let (got, pos) = read_varint(&buf, 0).unwrap();
+            assert_eq!((got, pos), (v, buf.len()), "value {v}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceBuilder::new("empty", vec![]).finish();
+        assert_eq!(t.events, 0);
+        let back = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.replay(|_, _| panic!("no events")).unwrap(), 0);
+    }
+}

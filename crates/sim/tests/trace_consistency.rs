@@ -1,0 +1,76 @@
+//! Pins the contract between the streaming trace sink and the aggregated
+//! [`esp_exec::Profile`]: per-site counts derived by replaying a trace must
+//! equal the interpreter's own `BranchCounts`, and the profile's
+//! `perfect_misses` must equal `min(taken, not_taken)` computed from the
+//! replayed event stream. Referenced by the doc-comments on
+//! `Profile::taken_prob` / `BranchCounts::perfect_misses`.
+
+use esp_exec::ExecLimits;
+use esp_lang::CompilerConfig;
+use esp_sim::collect_trace;
+
+#[test]
+fn trace_aggregates_match_profile_counts_and_perfect_misses() {
+    let bench = esp_corpus::suite()
+        .into_iter()
+        .find(|b| b.name == "grep")
+        .expect("grep is in the suite");
+    let prog = bench.compile(&CompilerConfig::default()).expect("compiles");
+    let limits = ExecLimits {
+        max_insns: 80_000_000,
+        ..ExecLimits::default()
+    };
+    let (trace, outcome) = collect_trace(&prog, &limits).expect("grep runs");
+    let profile = &outcome.profile;
+
+    // Aggregate (executed, taken) per site from the event stream.
+    let mut executed = vec![0u64; trace.num_sites()];
+    let mut taken = vec![0u64; trace.num_sites()];
+    trace
+        .replay(|site, t| {
+            executed[site as usize] += 1;
+            taken[site as usize] += t as u64;
+        })
+        .expect("replay");
+
+    // Total events equal the profile's dynamic conditional-branch count.
+    assert_eq!(trace.events, profile.dyn_cond_branches);
+    assert_eq!(executed.iter().sum::<u64>(), profile.dyn_cond_branches);
+
+    let mut checked_sites = 0usize;
+    let mut mixed_sites = 0usize;
+    for (i, &site) in trace.sites.iter().enumerate() {
+        match profile.counts(site) {
+            Some(c) => {
+                assert_eq!(c.executed, executed[i], "site {site:?} executed");
+                assert_eq!(c.taken, taken[i], "site {site:?} taken");
+
+                // perfect_misses is the minority-direction count.
+                let not_taken = executed[i] - taken[i];
+                assert_eq!(
+                    c.perfect_misses(),
+                    taken[i].min(not_taken),
+                    "site {site:?} perfect_misses"
+                );
+
+                // taken_prob is the exact event-stream frequency.
+                let p = c.taken_prob().expect("executed > 0");
+                assert!((p - taken[i] as f64 / executed[i] as f64).abs() < 1e-12);
+
+                checked_sites += 1;
+                if taken[i] > 0 && not_taken > 0 {
+                    mixed_sites += 1;
+                }
+            }
+            None => {
+                // Never-executed sites must have no events in the trace.
+                assert_eq!(executed[i], 0, "site {site:?} executed but unprofiled");
+            }
+        }
+    }
+    assert!(checked_sites > 10, "grep exercises many sites");
+    assert!(
+        mixed_sites > 0,
+        "need at least one site taken both ways for perfect_misses to bite"
+    );
+}

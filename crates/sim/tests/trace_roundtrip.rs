@@ -1,0 +1,133 @@
+//! Satellite tests for `.esptrace` files around a *real* corpus program:
+//! byte-identical serialization round trips, replay order matching live
+//! execution, and typed (never panicking) failures on damaged files —
+//! mirroring `crates/artifact/tests/roundtrip.rs` for model artifacts.
+
+use esp_exec::ExecLimits;
+use esp_ir::Program;
+use esp_lang::CompilerConfig;
+use esp_sim::{collect_trace, Trace, TraceError, TRACE_HEADER_LEN};
+
+fn sort_program() -> Program {
+    let bench = esp_corpus::suite()
+        .into_iter()
+        .find(|b| b.name == "sort")
+        .expect("sort is in the suite");
+    bench.compile(&CompilerConfig::default()).expect("compiles")
+}
+
+fn limits() -> ExecLimits {
+    ExecLimits {
+        max_insns: 80_000_000,
+        ..ExecLimits::default()
+    }
+}
+
+#[test]
+fn recorded_trace_round_trips_bitwise() {
+    let prog = sort_program();
+    let (trace, _) = collect_trace(&prog, &limits()).expect("sort runs");
+    assert!(trace.events > 0);
+
+    // serialize → deserialize → serialize is byte-identical
+    let bytes = trace.to_bytes();
+    let back = Trace::from_bytes(&bytes).expect("own bytes decode");
+    assert_eq!(back, trace);
+    assert_eq!(back.to_bytes(), bytes);
+
+    // disk round trip through save/load as well
+    let dir = std::env::temp_dir().join("esp-sim-roundtrip-test");
+    let path = dir.join("sort.esptrace");
+    trace.save(&path).expect("save");
+    let loaded = Trace::load(&path).expect("load");
+    assert_eq!(loaded, trace);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_matches_live_execution_order() {
+    let prog = sort_program();
+    let (trace, _) = collect_trace(&prog, &limits()).expect("sort runs");
+
+    // Re-run the interpreter with a sink that records (site, taken) live.
+    let sites = prog.branch_sites();
+    let index: std::collections::HashMap<_, _> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let mut live: Vec<(u32, bool)> = Vec::new();
+    let mut sink = |id: esp_ir::BranchId, taken: bool| live.push((index[&id], taken));
+    esp_exec::run_with_sink(&prog, &limits(), &mut sink).expect("second run");
+
+    let mut replayed: Vec<(u32, bool)> = Vec::with_capacity(live.len());
+    trace.replay(|s, t| replayed.push((s, t))).expect("replay");
+    assert_eq!(trace.sites, sites);
+    assert_eq!(replayed, live, "trace must preserve execution order exactly");
+}
+
+#[test]
+fn corrupt_and_truncated_traces_fail_typed_never_panic() {
+    let prog = sort_program();
+    let (trace, _) = collect_trace(&prog, &limits()).expect("sort runs");
+    let bytes = trace.to_bytes();
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        Trace::from_bytes(&bad),
+        Err(TraceError::BadMagic)
+    ));
+
+    // Future format version.
+    let mut future = bytes.clone();
+    future[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Trace::from_bytes(&future),
+        Err(TraceError::UnsupportedVersion(99))
+    ));
+
+    // Flip one payload byte: checksum catches it.
+    let mut corrupt = bytes.clone();
+    let mid = TRACE_HEADER_LEN + (bytes.len() - TRACE_HEADER_LEN) / 2;
+    corrupt[mid] ^= 0x01;
+    assert!(matches!(
+        Trace::from_bytes(&corrupt),
+        Err(TraceError::CorruptChecksum { .. })
+    ));
+
+    // Truncations at every region boundary: header, payload, mid-stream.
+    for cut in [0, 3, TRACE_HEADER_LEN - 1, TRACE_HEADER_LEN + 5, bytes.len() - 1] {
+        let err = Trace::from_bytes(&bytes[..cut]).expect_err("truncated must fail");
+        assert!(
+            matches!(err, TraceError::Truncated { .. }),
+            "cut at {cut}: {err:?}"
+        );
+    }
+
+    // Trailing garbage past the declared payload.
+    let mut trailing = bytes.clone();
+    trailing.push(0xAB);
+    assert!(matches!(
+        Trace::from_bytes(&trailing),
+        Err(TraceError::Malformed(_))
+    ));
+
+    // Every error Displays without panicking.
+    for e in [
+        TraceError::BadMagic,
+        TraceError::UnsupportedVersion(7),
+        TraceError::CorruptChecksum {
+            expected: 1,
+            actual: 2,
+        },
+        TraceError::Truncated {
+            needed: 8,
+            available: 3,
+        },
+        TraceError::Malformed("x".into()),
+    ] {
+        assert!(!e.to_string().is_empty());
+    }
+}

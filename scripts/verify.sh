@@ -34,7 +34,9 @@ if [[ "$fast" -eq 0 ]]; then
                kernel coalesce_ratio train_examples_per_sec \
                train_allocs_per_epoch kernel_speedup kernel_identical \
                predict_rows_per_sec predict_rows_per_sec_f32 \
-               batch_kernel_speedup batch_kernel_identical f32_kernel_identical; do
+               batch_kernel_speedup batch_kernel_identical f32_kernel_identical \
+               sim sim_programs sim_events_total sim_trace_record_ms \
+               sim_replay_ms sim_branches_per_sec sim_deterministic; do
         grep -q "\"$key\"" BENCH_pipeline.json \
             || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
     done
@@ -46,6 +48,8 @@ if [[ "$fast" -eq 0 ]]; then
         || { echo "panel kernel diverged bitwise from the scalar path" >&2; exit 1; }
     grep -q '"f32_kernel_identical": true' BENCH_pipeline.json \
         || { echo "f32 panel kernel diverged from the f32 scalar path" >&2; exit 1; }
+    grep -q '"sim_deterministic": true' BENCH_pipeline.json \
+        || { echo "arena replay A/B diverged: the sim is not deterministic" >&2; exit 1; }
 
     echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
     cargo run --release --offline -q -p esp-serve --bin esp-client -- \
@@ -92,6 +96,16 @@ PYEOF
     done
     echo "metrics OK: $(grep -c '^# TYPE' metrics_obs.prom) families exposed"
     rm -f trace_obs.json metrics_obs.prom
+
+    echo "==> dynamic-predictor arena smoke (2-program dyn table, cached traces)"
+    cargo run --release --offline -q -p esp-bench --bin repro_tables -- \
+        --dynamic --quick --subset sort,grep --trace-dir target/esptraces \
+        | tee table_dyn.txt
+    grep -q 'ESP+TAGE' table_dyn.txt \
+        || { echo "dyn table is missing the ESP+TAGE hybrid column" >&2; exit 1; }
+    grep -Eq 'wins warmup|warmup tie' table_dyn.txt \
+        || { echo "dyn table is missing the warmup verdict" >&2; exit 1; }
+    rm -f table_dyn.txt
 
     echo "==> f32 quantization gate (2-fold Table 4 subset, flip bound 0.05)"
     cargo run --release --offline -q -p esp-bench --bin repro_tables -- \

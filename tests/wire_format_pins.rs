@@ -1,0 +1,33 @@
+//! Pins the serialized-surface versions of the workspace: the `.espm`
+//! artifact format and the serving wire protocol. The dynamic-predictor
+//! sim (`esp-sim`) is an offline study — it introduced its own `.esptrace`
+//! format but must not perturb either existing surface. A legitimate
+//! layout change bumps the constant *and* this test together, so the bump
+//! is always a reviewed, deliberate act.
+
+#[test]
+fn model_artifact_format_version_is_pinned() {
+    assert_eq!(
+        esp_artifact::FORMAT_VERSION,
+        3,
+        "`.espm` format version changed — update readers, writers and this pin together"
+    );
+}
+
+#[test]
+fn serve_protocol_version_is_pinned() {
+    assert_eq!(
+        esp_serve::protocol::PROTOCOL_VERSION,
+        2,
+        "serve wire protocol version changed — update client, server and this pin together"
+    );
+}
+
+#[test]
+fn esptrace_format_starts_at_version_one() {
+    // The sim's own trace format: v1, `ESPT` magic, 20-byte header
+    // (mirroring the `.espm` header layout).
+    assert_eq!(esp_sim::TRACE_FORMAT_VERSION, 1);
+    assert_eq!(&esp_sim::TRACE_MAGIC, b"ESPT");
+    assert_eq!(esp_sim::TRACE_HEADER_LEN, 20);
+}

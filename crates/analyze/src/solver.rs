@@ -1,0 +1,218 @@
+//! The generic worklist dataflow solver.
+//!
+//! An [`Analysis`] describes a monotone lattice problem: a boundary state, a
+//! join, a per-block transfer function, and (optionally) per-edge transfer
+//! with executability — returning `None` marks the edge dead, which is how
+//! SCCP's executable-edge tracking and the interval analysis's infeasible
+//! refinements prune paths.
+//!
+//! [`solve`] iterates whole-CFG sweeps in reverse postorder (postorder for
+//! backward problems) until a fixpoint. Round-robin sweeps over a fixed
+//! deterministic order make the solver's behaviour — and, together with the
+//! monotone lattice, its result — independent of hash/iteration accidents:
+//! the same function always produces the same [`Solution`].
+
+use esp_ir::cfg::{Cfg, Edge};
+use esp_ir::BlockId;
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block along edges.
+    Forward,
+    /// Facts flow from exit blocks against edges.
+    Backward,
+}
+
+/// A monotone dataflow problem over one function's CFG.
+pub trait Analysis {
+    /// The lattice element attached to each program point. `None` at the
+    /// solver level means "no executable path reaches this point yet".
+    type State: Clone + PartialEq;
+
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// The state at the boundary: the function entry (forward) or every
+    /// exit-less block (backward).
+    fn boundary(&self) -> Self::State;
+
+    /// Join `from` into `into` (least upper bound).
+    fn join(&self, into: &mut Self::State, from: &Self::State);
+
+    /// Transfer one block: mutate the flow-in state into the flow-out state.
+    /// For backward problems "in" is the state *after* the block.
+    fn transfer(&self, block: BlockId, state: &mut Self::State);
+
+    /// The state an edge propagates given its source's flow-out state.
+    /// Return `None` to mark the edge not executable. The default forwards
+    /// the state unchanged.
+    fn edge_state(&self, _edge: &Edge, out: &Self::State) -> Option<Self::State> {
+        Some(out.clone())
+    }
+
+    /// Widening hook, called when a block's freshly joined input differs
+    /// from its previous input. Must return an upper bound of both; the
+    /// default — plain replacement — is correct for finite-height lattices.
+    fn widen(&self, _block: BlockId, _old: &Self::State, new: Self::State) -> Self::State {
+        new
+    }
+}
+
+/// Fixpoint states per block. Indexing follows block ids; `None` marks
+/// blocks no executable path reaches (forward) or that reach no exit
+/// (backward).
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// Flow-in state per block: at block entry for forward problems, at
+    /// block *exit* (live-out) for backward ones.
+    pub input: Vec<Option<S>>,
+    /// Flow-out state per block: at block exit for forward problems, at
+    /// block *entry* (live-in) for backward ones.
+    pub output: Vec<Option<S>>,
+}
+
+/// Run `analysis` over `cfg` to fixpoint.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::State> {
+    let n = cfg.num_blocks();
+    let mut order = cfg.reverse_postorder();
+    if analysis.direction() == Direction::Backward {
+        order.reverse();
+    }
+    let mut input: Vec<Option<A::State>> = vec![None; n];
+    let mut output: Vec<Option<A::State>> = vec![None; n];
+
+    let is_boundary = |b: BlockId| match analysis.direction() {
+        Direction::Forward => b == BlockId(0),
+        Direction::Backward => cfg.succs(b).is_empty(),
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            // Join the contributions of every executable in-flow edge.
+            let mut inc: Option<A::State> = is_boundary(b).then(|| analysis.boundary());
+            let flow_edges: &[Edge] = match analysis.direction() {
+                Direction::Forward => cfg.preds(b),
+                Direction::Backward => cfg.succs(b),
+            };
+            for e in flow_edges {
+                let src = match analysis.direction() {
+                    Direction::Forward => e.from,
+                    Direction::Backward => e.to,
+                };
+                let Some(out) = &output[src.index()] else {
+                    continue;
+                };
+                let Some(s) = analysis.edge_state(e, out) else {
+                    continue;
+                };
+                match &mut inc {
+                    None => inc = Some(s),
+                    Some(acc) => analysis.join(acc, &s),
+                }
+            }
+            let Some(mut inc) = inc else {
+                continue; // nothing reaches this block (yet)
+            };
+            if let Some(old) = &input[b.index()] {
+                if inc != *old {
+                    inc = analysis.widen(b, old, inc);
+                }
+            }
+            if input[b.index()].as_ref() == Some(&inc) {
+                continue; // input stable => output stable
+            }
+            input[b.index()] = Some(inc.clone());
+            analysis.transfer(b, &mut inc);
+            if output[b.index()].as_ref() != Some(&inc) {
+                output[b.index()] = Some(inc);
+                changed = true;
+            }
+        }
+    }
+    Solution { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_ir::builder::FunctionBuilder;
+    use esp_ir::term::BranchOp;
+    use esp_ir::{Function, Lang, Reg};
+
+    /// Forward "reaching blocks" analysis: state counts joins, checking the
+    /// solver visits everything reachable exactly once per sweep.
+    struct Reach;
+    impl Analysis for Reach {
+        type State = u32;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> u32 {
+            0
+        }
+        fn join(&self, into: &mut u32, from: &u32) {
+            *into = (*into).max(*from);
+        }
+        fn transfer(&self, _b: BlockId, s: &mut u32) {
+            *s += 1;
+        }
+    }
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", 0, Lang::C);
+        let c = b.fresh_reg();
+        let e = b.entry_block();
+        let t = b.new_block();
+        let n = b.new_block();
+        let x = b.new_block();
+        b.push_load_imm(e, c, 1);
+        b.set_cond_branch(e, BranchOp::Bne, c, None, t, n);
+        b.set_jump(t, x);
+        b.set_fallthrough(n, x);
+        b.set_return(x, None);
+        b.finish()
+    }
+
+    #[test]
+    fn forward_reaches_all_reachable_blocks() {
+        let f = diamond();
+        let cfg = esp_ir::cfg::Cfg::new(&f);
+        let sol = solve(&cfg, &Reach);
+        for b in 0..f.num_blocks() {
+            assert!(sol.output[b].is_some(), "block {b} unreached");
+        }
+        // exit block saw depth max(entry+arm)+1 = 3
+        assert_eq!(sol.output[3], Some(3));
+        let _ = Reg(0);
+    }
+
+    /// Backward counterpart: distance to exit.
+    struct ToExit;
+    impl Analysis for ToExit {
+        type State = u32;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn boundary(&self) -> u32 {
+            0
+        }
+        fn join(&self, into: &mut u32, from: &u32) {
+            *into = (*into).max(*from);
+        }
+        fn transfer(&self, _b: BlockId, s: &mut u32) {
+            *s += 1;
+        }
+    }
+
+    #[test]
+    fn backward_seeds_exit_blocks() {
+        let f = diamond();
+        let cfg = esp_ir::cfg::Cfg::new(&f);
+        let sol = solve(&cfg, &ToExit);
+        assert_eq!(sol.input[3], Some(0), "exit block live-out is the boundary");
+        assert_eq!(sol.output[0], Some(3), "entry is three transfers from exit");
+    }
+}

@@ -1,0 +1,82 @@
+//! Determinism A/B for the analyses and the linter: two independent runs
+//! over freshly-compiled programs must produce byte-identical reports.
+//! Every diagnostic and fact list is RPO/`BranchId`-sorted by construction;
+//! this pins that property against regressions (e.g. someone iterating a
+//! hash map while assembling findings).
+
+use esp_analyze::{lint_program, report_json, FuncFacts, ProgramReport};
+use esp_ir::ProgramAnalysis;
+use esp_lang::CompilerConfig;
+
+/// A corpus cross-section: both languages, loops, pointers, recursion.
+const SUBSET: &[&str] = &["sort", "grep", "sed", "gzip", "li", "tomcatv"];
+
+fn lint_subset() -> String {
+    let cfg = CompilerConfig::default();
+    let reports: Vec<ProgramReport> = esp_corpus::suite()
+        .into_iter()
+        .filter(|b| SUBSET.contains(&b.name))
+        .map(|b| {
+            let prog = b.compile(&cfg).expect("compiles");
+            let analysis = ProgramAnalysis::analyze(&prog);
+            ProgramReport {
+                name: b.name.to_string(),
+                findings: lint_program(&prog, &analysis),
+            }
+        })
+        .collect();
+    assert_eq!(reports.len(), SUBSET.len(), "subset names must all resolve");
+    report_json(&reports)
+}
+
+#[test]
+fn lint_reports_are_byte_identical_across_runs() {
+    let a = lint_subset();
+    let b = lint_subset();
+    assert_eq!(a, b, "two lint runs over identical input diverged");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn findings_are_sorted_by_site() {
+    let cfg = CompilerConfig::default();
+    for b in esp_corpus::suite()
+        .into_iter()
+        .filter(|b| SUBSET.contains(&b.name))
+    {
+        let prog = b.compile(&cfg).expect("compiles");
+        let analysis = ProgramAnalysis::analyze(&prog);
+        let findings = lint_program(&prog, &analysis);
+        let keys: Vec<_> = findings
+            .iter()
+            .map(|f| (f.func.0, f.block.0, f.insn.unwrap_or(usize::MAX), f.code))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{}: findings not in site order", b.name);
+    }
+}
+
+#[test]
+fn func_facts_are_deterministic() {
+    let cfg = CompilerConfig::default();
+    for b in esp_corpus::suite()
+        .into_iter()
+        .filter(|b| SUBSET.contains(&b.name))
+    {
+        let prog = b.compile(&cfg).expect("compiles");
+        for func in &prog.funcs {
+            let a = FuncFacts::compute_standalone(func);
+            let b2 = FuncFacts::compute_standalone(func);
+            assert_eq!(a.reachable, b2.reachable);
+            assert_eq!(a.branches, b2.branches);
+            assert_eq!(
+                a.dead.len(),
+                b2.dead.len(),
+                "{}/{}: dead-store sets diverged",
+                prog.name,
+                func.name
+            );
+        }
+    }
+}

@@ -121,6 +121,13 @@ impl ModelArtifact {
         let mlp = model.mlp().ok_or_else(|| {
             ArtifactError::Malformed("the format persists network models only, not trees".into())
         })?;
+        if model.encoder().feature_set().extended {
+            return Err(ArtifactError::Malformed(
+                "the format persists paper-feature-set models only; \
+                 extended-feature models cannot be cached as .espm"
+                    .into(),
+            ));
+        }
         Ok(ModelArtifact {
             meta,
             encoder: model.encoder().clone(),
@@ -525,6 +532,9 @@ fn read_prefix(r: &mut ByteReader<'_>) -> Result<Prefix, ArtifactError> {
         opcode_features: r.u8()? != 0,
         context_features: r.u8()? != 0,
         successor_features: r.u8()? != 0,
+        // The v3 wire format predates (and never carries) the extended
+        // analysis features; `from_model` refuses extended models.
+        extended: false,
     };
     let mean = r.f64_slice()?;
     let inv_std = r.f64_slice()?;

@@ -441,6 +441,54 @@ fn main() {
         deterministic: sim_deterministic,
     };
 
+    // ---- analyze: the corpus linter's dataflow pass (A/B) ----------------
+    // Run the full `esp-analyze` lint (SCCP + intervals + liveness + fact
+    // distillation) over every suite program twice. The second run's JSON
+    // report must be byte-identical — the analyses iterate in deterministic
+    // RPO order by construction, and this A/B pins it at the system level.
+    // Throughput is conditional-branch sites analyzed per second of one run.
+    eprintln!(
+        "analyze: linting {} programs twice (determinism A/B)…",
+        suite.benches.len()
+    );
+    let lint_all = || -> String {
+        let reports: Vec<esp_analyze::ProgramReport> = suite
+            .benches
+            .iter()
+            .map(|b| esp_analyze::ProgramReport {
+                name: b.bench.name.to_string(),
+                findings: esp_analyze::lint_program(&b.prog, &b.analysis),
+            })
+            .collect();
+        esp_analyze::report_json(&reports)
+    };
+    let (lint_a, analyze_ms) = time_ms(lint_all);
+    let (lint_b, _) = time_ms(lint_all);
+    let analyze_deterministic = lint_a == lint_b;
+    let analyze_branches_total: usize = suite
+        .benches
+        .iter()
+        .map(|b| b.prog.branch_sites().len())
+        .sum();
+    let lint_findings_total = lint_a.matches("\"code\":").count();
+    let analyze_branches_per_sec = if analyze_ms > 0.0 {
+        analyze_branches_total as f64 / (analyze_ms / 1e3)
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  analyze: {analyze_branches_total} branches, {lint_findings_total} findings \
+         in {analyze_ms:.1} ms ({analyze_branches_per_sec:.0} branches/s), \
+         deterministic: {analyze_deterministic}"
+    );
+    let analyze = AnalyzeReport {
+        branches_total: analyze_branches_total,
+        findings_total: lint_findings_total,
+        analyze_ms,
+        branches_per_sec: analyze_branches_per_sec,
+        deterministic: analyze_deterministic,
+    };
+
     // ---- stage 3: leave-one-out cross-validation (folds) -----------------
     let cv_pool: Vec<TrainingProgram<'_>> = if quick {
         programs.iter().take(8).map(|tp| TrainingProgram {
@@ -528,6 +576,7 @@ fn main() {
         &phases,
         &kernel,
         &sim,
+        &analyze,
         threads,
         cores,
         quick,
@@ -559,6 +608,10 @@ fn main() {
     }
     if !sim_deterministic {
         eprintln!("ERROR: two identical arena replays diverged — the sim is not deterministic");
+        std::process::exit(1);
+    }
+    if !analyze_deterministic {
+        eprintln!("ERROR: two identical lint runs produced different reports");
         std::process::exit(1);
     }
 }
@@ -604,6 +657,16 @@ struct SimReport {
     deterministic: bool,
 }
 
+/// The `"analyze"` block of the report: the corpus linter's dataflow-pass
+/// throughput and its determinism A/B.
+struct AnalyzeReport {
+    branches_total: usize,
+    findings_total: usize,
+    analyze_ms: f64,
+    branches_per_sec: f64,
+    deterministic: bool,
+}
+
 /// Wall-clock of each pipeline phase (parallel variant where both exist).
 struct Phases {
     setup_ms: f64,
@@ -629,6 +692,7 @@ fn render_json(
     phases: &Phases,
     kernel: &KernelReport,
     sim: &SimReport,
+    analyze: &AnalyzeReport,
     threads: usize,
     cores: usize,
     quick: bool,
@@ -708,6 +772,25 @@ fn render_json(
     s.push_str(&format!(
         "    \"sim_deterministic\": {}\n",
         sim.deterministic
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"analyze\": {\n");
+    s.push_str(&format!(
+        "    \"analyze_branches_total\": {},\n",
+        analyze.branches_total
+    ));
+    s.push_str(&format!(
+        "    \"lint_findings_total\": {},\n",
+        analyze.findings_total
+    ));
+    s.push_str(&format!("    \"analyze_ms\": {:.3},\n", analyze.analyze_ms));
+    s.push_str(&format!(
+        "    \"analyze_branches_per_sec\": {:.0},\n",
+        analyze.branches_per_sec
+    ));
+    s.push_str(&format!(
+        "    \"analyze_deterministic\": {}\n",
+        analyze.deterministic
     ));
     s.push_str("  },\n");
     s.push_str("  \"stages\": [\n");

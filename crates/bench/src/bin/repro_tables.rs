@@ -4,7 +4,7 @@
 //! repro_tables [table3|table4|table5|table6|table7|fig1|fig2|dyn|all] [--quick] [--threads N]
 //!              [--save-model DIR] [--load-model DIR] [--subset NAME,NAME,…]
 //!              [--trace-out FILE] [--metrics-out FILE] [--coalesce on|off]
-//!              [--precision f32|f64] [--flip-bound B]
+//!              [--precision f32|f64] [--flip-bound B] [--features paper24|extended]
 //!              [--dynamic] [--trace-dir DIR] [--warmup N]
 //! ```
 //!
@@ -50,6 +50,14 @@
 //! part of `all`: it retrains (or reloads) the same leave-one-out folds as
 //! Table 4, so run it separately, ideally sharing `--save-model`/`--load-model`.
 //!
+//! `--features paper24|extended` (default `paper24`) selects the feature
+//! set for Table 4. `extended` runs Table 4 *twice* — once on the paper's
+//! 24 features (with the model cache, unchanged output) and once with the
+//! `esp-analyze` analysis-derived features appended — then prints a
+//! greppable `extended_vs_baseline:` miss-rate delta line. Extended folds
+//! are never cached (`.espm` carries paper-feature models only), so the
+//! default artifacts on disk are untouched.
+//!
 //! `--precision f32` (default `f64`) runs the f32 quantization gate on
 //! Table 4: each fold's f64 model is quantized, rescored on its held-out
 //! program, prediction flips and the f32 miss-rate delta are reported (and
@@ -83,6 +91,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--flip-bound",
     "--trace-dir",
     "--warmup",
+    "--features",
 ];
 
 /// Parsed command line: every `--flag` checked against the known sets (an
@@ -236,6 +245,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let extended_features = match flags.value("--features") {
+        None | Some("paper24") => false,
+        Some("extended") => true,
+        Some(other) => {
+            eprintln!("--features takes `paper24` or `extended`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let what = flags
         .positional()
         .unwrap_or(if flags.bool("--dynamic") { "dyn" } else { "all" });
@@ -275,6 +292,32 @@ fn main() {
         if let Some(gate) = gate {
             println!("{}", gate.render());
             gate_failed |= !gate.passes();
+        }
+        if extended_features {
+            eprintln!(
+                "re-running Table 4 with the extended (analysis-derived) feature set…"
+            );
+            let mut esp = esp_config(quick, threads, coalesce);
+            esp.features.extended = true;
+            // Extended models are dimensionally incompatible with the .espm
+            // format; never touch the registry for this leg.
+            let ext_cfg = Table4Config {
+                esp,
+                model_cache: None,
+                quant: None,
+            };
+            let (ext_rows, _) = compute_with_quant(suite, &ext_cfg);
+            println!("{}", esp_eval::table4::render_rows(suite, &ext_rows));
+            let base = esp_eval::table4::summarize(&rows);
+            let ext = esp_eval::table4::summarize(&ext_rows);
+            // Report in the table's units (percent missed).
+            let esp_base = 100.0 * base.averages.last().expect("overall row").1[4];
+            let esp_ext = 100.0 * ext.averages.last().expect("overall row").1[4];
+            println!(
+                "extended_vs_baseline: esp_miss_baseline={esp_base:.2} \
+                 esp_miss_extended={esp_ext:.2} delta={:+.2}",
+                esp_ext - esp_base
+            );
         }
     };
 

@@ -11,9 +11,11 @@ use esp_nnet::Normalizer;
 
 use crate::features::{BranchFeatures, SuccessorFeatures};
 
-/// Which feature groups to encode (all on by default). Dropping groups
-/// implements the paper's "we have not investigated the impact of not having
-/// enough data in the feature set" direction as an ablation.
+/// Which feature groups to encode (the paper's 24 on by default). Dropping
+/// groups implements the paper's "we have not investigated the impact of not
+/// having enough data in the feature set" direction as an ablation; turning
+/// on [`FeatureSet::extended`] appends the analysis-derived block from
+/// `esp-analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureSet {
     /// Features 1–5: branch opcode, direction and the operand-definition
@@ -23,6 +25,11 @@ pub struct FeatureSet {
     pub context_features: bool,
     /// Features 9–24: the two successor blocks.
     pub successor_features: bool,
+    /// The analysis-derived extension (off by default: the paper-faithful
+    /// 24-feature path is byte-identical with this flag off). Extends the
+    /// encoded vector by [`EXTENDED_DIM`] positions, so models trained with
+    /// it are dimensionally incompatible with the default.
+    pub extended: bool,
 }
 
 impl Default for FeatureSet {
@@ -31,6 +38,28 @@ impl Default for FeatureSet {
             opcode_features: true,
             context_features: true,
             successor_features: true,
+            extended: false,
+        }
+    }
+}
+
+impl FeatureSet {
+    /// A stable identity string for train-config stamps.
+    ///
+    /// For non-extended sets this is byte-identical to the `Debug` output
+    /// the stamp used before the `extended` flag existed, so every `.espm`
+    /// fold cached under the default feature set stays valid. Extended sets
+    /// get a distinct tag (and therefore a cache miss), which is exactly
+    /// right: the encoded dimension differs.
+    pub fn stamp_tag(&self) -> String {
+        let base = format!(
+            "FeatureSet {{ opcode_features: {}, context_features: {}, successor_features: {}",
+            self.opcode_features, self.context_features, self.successor_features
+        );
+        if self.extended {
+            format!("{base}, extended: true }}")
+        } else {
+            format!("{base} }}")
         }
     }
 }
@@ -53,6 +82,22 @@ pub const ENCODED_DIM: usize =
     + 3
     // 9..16 and 17..24: per-successor 7 binary + term kind one-hot
     + 2 * (7 + TERM_KINDS);
+
+/// Extra positions appended under [`FeatureSet::extended`]: a 3-way
+/// decided-direction one-hot, a 3-way null-test one-hot, and four binary
+/// facts (constant LHS, loop-invariant condition, loop guard, guard keeps
+/// the taken arm in the loop).
+pub const EXTENDED_DIM: usize = 3 + 3 + 4;
+
+/// Dimensionality of the encoded vector under `set`: [`ENCODED_DIM`] for
+/// the paper-faithful sets, plus [`EXTENDED_DIM`] when extended.
+pub const fn encoded_dim(set: &FeatureSet) -> usize {
+    if set.extended {
+        ENCODED_DIM + EXTENDED_DIM
+    } else {
+        ENCODED_DIM
+    }
+}
 
 fn push_onehot(v: &mut Vec<f64>, index: Option<usize>, len: usize) {
     let base = v.len();
@@ -121,8 +166,41 @@ pub fn encode_into(f: &BranchFeatures, set: &FeatureSet, v: &mut Vec<f64>, mask:
     push_succ(v, &f.not_taken);
     mask.resize(v.len(), set.successor_features);
 
-    debug_assert_eq!(v.len(), ENCODED_DIM);
-    debug_assert_eq!(mask.len(), ENCODED_DIM);
+    // --- analysis-derived extension (opt-in) ---
+    if set.extended {
+        match &f.extended {
+            None => {
+                // No facts attached: all positions meaningless.
+                v.resize(v.len() + EXTENDED_DIM, 0.0);
+                mask.resize(v.len(), false);
+            }
+            Some(e) => {
+                let decided = match e.decided {
+                    Some(true) => 0,
+                    Some(false) => 1,
+                    None => 2,
+                };
+                push_onehot(v, Some(decided), 3);
+                let ptr = match e.pointer_test {
+                    esp_analyze::PointerTest::No => 0,
+                    esp_analyze::PointerTest::Unproven => 1,
+                    esp_analyze::PointerTest::ProvenNonNull => 2,
+                };
+                push_onehot(v, Some(ptr), 3);
+                v.push(e.lhs_const as u8 as f64);
+                v.push(e.invariant as u8 as f64);
+                v.push(e.guard as u8 as f64);
+                mask.resize(v.len(), true);
+                // Dependent feature: "taken arm stays in the loop" only
+                // means something for branches that are guards.
+                v.push(e.guard_taken_stays as u8 as f64);
+                mask.resize(v.len(), e.guard);
+            }
+        }
+    }
+
+    debug_assert_eq!(v.len(), encoded_dim(set));
+    debug_assert_eq!(mask.len(), encoded_dim(set));
 }
 
 /// A fitted encoder: normalization statistics plus the feature-set choice.

@@ -4,6 +4,12 @@
 //! features of the branch and its operand definitions, three context
 //! features (loop header, language, procedure kind) and eight structural
 //! features for each of the two successors.
+//!
+//! Beyond the paper, an opt-in [`ExtendedFeatures`] block carries facts the
+//! `esp-analyze` dataflow analyses derive (statically-decided direction,
+//! null-test classification, loop-guard shape). It is attached lazily —
+//! [`extract`] always leaves it `None`; the training and prediction paths
+//! fill it in only when the encoder's feature set asks for it.
 
 use esp_ir::defuse::{branch_compare_regs, defining_insn, defining_insn_before, used_before_def};
 use esp_ir::term::TermKind;
@@ -40,6 +46,40 @@ pub struct SuccessorFeatures {
     pub has_call: bool,
 }
 
+/// Analysis-derived facts of one branch, from `esp-analyze` (not part of
+/// the paper's Table 2; encoded only under the extended feature set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtendedFeatures {
+    /// `Some(direction)` when dataflow analysis proves the branch
+    /// one-sided.
+    pub decided: Option<bool>,
+    /// Null-test classification of the comparison.
+    pub pointer_test: esp_analyze::PointerTest,
+    /// The first compared register is a compile-time constant.
+    pub lhs_const: bool,
+    /// The condition is invariant in its innermost containing loop.
+    pub invariant: bool,
+    /// The branch is a loop-exit guard (varying value vs invariant bound).
+    pub guard: bool,
+    /// For a guard: the taken arm stays in the loop. Dependent feature —
+    /// meaningful only when [`ExtendedFeatures::guard`] holds.
+    pub guard_taken_stays: bool,
+}
+
+impl ExtendedFeatures {
+    /// The all-unknown record, used when a site has no computed facts.
+    pub fn unknown() -> ExtendedFeatures {
+        ExtendedFeatures {
+            decided: None,
+            pointer_test: esp_analyze::PointerTest::No,
+            lhs_const: false,
+            invariant: false,
+            guard: false,
+            guard_taken_stays: false,
+        }
+    }
+}
+
 /// The complete Table 2 feature vector of one branch site.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchFeatures {
@@ -73,6 +113,9 @@ pub struct BranchFeatures {
     pub taken: SuccessorFeatures,
     /// Features 17–24: the not-taken successor.
     pub not_taken: SuccessorFeatures,
+    /// Analysis-derived facts, attached only when the extended feature set
+    /// is active; [`extract`] always leaves this `None`.
+    pub extended: Option<ExtendedFeatures>,
 }
 
 /// Number of (conceptual) features, as in Table 2.
@@ -165,6 +208,7 @@ pub fn extract(prog: &Program, analysis: &ProgramAnalysis, site: BranchId) -> Br
         proc_kind: prog.proc_kind(site.func),
         taken: successor_features(func, fa, site.block, *taken, &compare_regs),
         not_taken: successor_features(func, fa, site.block, *not_taken, &compare_regs),
+        extended: None,
     }
 }
 

@@ -55,10 +55,12 @@
 
 pub mod crossval;
 pub mod encode;
+pub mod extended;
 pub mod features;
 pub mod model;
 
 pub use crossval::{cross_validate, leave_one_out};
-pub use encode::{encode, FeatureSet, FittedEncoder, ENCODED_DIM};
-pub use features::{extract, BranchFeatures, SuccessorFeatures, FEATURE_COUNT};
+pub use encode::{encode, encoded_dim, FeatureSet, FittedEncoder, ENCODED_DIM, EXTENDED_DIM};
+pub use extended::ExtendedContext;
+pub use features::{extract, BranchFeatures, ExtendedFeatures, SuccessorFeatures, FEATURE_COUNT};
 pub use model::{build_training_set, EspConfig, EspModel, Learner, TrainingProgram};

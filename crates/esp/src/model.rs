@@ -10,6 +10,7 @@ use esp_nnet::{
 };
 
 use crate::encode::{encode, FeatureSet, FittedEncoder};
+use crate::extended::ExtendedContext;
 use crate::features::extract;
 
 /// One profiled program of the training corpus.
@@ -104,6 +105,10 @@ pub fn build_training_set(
     let mut raw: Vec<(Vec<f64>, Vec<bool>)> = Vec::new();
     let mut targets: Vec<(f64, f64)> = Vec::new(); // (t_k, n_k)
     for tp in corpus {
+        let ext = cfg
+            .features
+            .extended
+            .then(|| ExtendedContext::new(tp.prog, tp.analysis));
         for site in tp.prog.branch_sites() {
             let Some(counts) = tp.profile.counts(site) else {
                 continue;
@@ -111,7 +116,10 @@ pub fn build_training_set(
             let Some(t) = counts.taken_prob() else {
                 continue;
             };
-            let f = extract(tp.prog, tp.analysis, site);
+            let mut f = extract(tp.prog, tp.analysis, site);
+            if let Some(ctx) = &ext {
+                ctx.attach(site, &mut f);
+            }
             raw.push(encode(&f, &cfg.features));
             targets.push((t, tp.profile.weight(site)));
         }
@@ -278,7 +286,10 @@ impl EspModel {
         analysis: &ProgramAnalysis,
         site: BranchId,
     ) -> f64 {
-        let f = extract(prog, analysis, site);
+        let mut f = extract(prog, analysis, site);
+        if self.encoder.feature_set().extended {
+            ExtendedContext::new(prog, analysis).attach(site, &mut f);
+        }
         let x = self.encoder.encode(&f);
         match &self.fitted {
             Fitted::Net(m) => m.predict(&x),
@@ -366,11 +377,19 @@ impl EspModel {
     ) -> Vec<f64> {
         let mut row = Vec::new();
         let mut mask = Vec::new();
+        let ext = self
+            .encoder
+            .feature_set()
+            .extended
+            .then(|| ExtendedContext::new(prog, analysis));
         if let Fitted::Tree(t) = &self.fitted {
             return sites
                 .iter()
                 .map(|&site| {
-                    let f = extract(prog, analysis, site);
+                    let mut f = extract(prog, analysis, site);
+                    if let Some(ctx) = &ext {
+                        ctx.attach(site, &mut f);
+                    }
                     self.encoder.encode_into(&f, &mut row, &mut mask);
                     t.predict(&row)
                 })
@@ -380,7 +399,10 @@ impl EspModel {
             let (panel, s64, s32) = &mut *cell.borrow_mut();
             panel.clear();
             for &site in sites {
-                let f = extract(prog, analysis, site);
+                let mut f = extract(prog, analysis, site);
+                if let Some(ctx) = &ext {
+                    ctx.attach(site, &mut f);
+                }
                 self.encoder.encode_into(&f, &mut row, &mut mask);
                 panel.extend_from_slice(&row);
             }

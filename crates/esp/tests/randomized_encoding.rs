@@ -49,6 +49,7 @@ fn random_features(rng: &mut Pcg32) -> BranchFeatures {
         },
         taken: random_succ(rng),
         not_taken: random_succ(rng),
+        extended: None,
     }
 }
 
@@ -57,6 +58,7 @@ fn random_feature_set(rng: &mut Pcg32) -> FeatureSet {
         opcode_features: rng.gen_bool(0.5),
         context_features: rng.gen_bool(0.5),
         successor_features: rng.gen_bool(0.5),
+        extended: false,
     }
 }
 
@@ -103,6 +105,7 @@ fn disabled_groups_have_fully_false_masks() {
             opcode_features: false,
             context_features: false,
             successor_features: false,
+            extended: false,
         };
         let (_, mask) = encode(&f, &set);
         assert!(mask.iter().all(|m| !m));

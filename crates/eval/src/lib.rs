@@ -43,7 +43,9 @@ pub use data::{BenchData, SuiteData};
 pub use miss::{expected_misses, miss_rate, Prediction};
 pub use table3::{table3, Table3Row};
 pub use quant::{FoldQuantReport, PublishOutcome, QuantGateConfig, QuantGateReport};
-pub use table4::{compute_with_quant, table4, ModelCache, Table4Config, Table4Row};
+pub use table4::{
+    compute_with_quant, table4, train_config_stamp, ModelCache, Table4Config, Table4Row,
+};
 pub use table5::{table5, Table5Row};
 pub use table_dyn::{table_dyn, PooledRates, TableDynConfig, TableDynReport, TableDynRow};
 pub use table6::table6;

@@ -307,11 +307,19 @@ fn quant_fold(
 /// trained fold computes. `threads` is deliberately excluded: every thread
 /// count produces bitwise-identical models. `coalesce` is included — the
 /// merged training set perturbs weights at ulp level, so a fold cached
-/// under one setting must not be silently reused under the other.
-fn train_config_stamp(cfg: &EspConfig) -> String {
+/// under one setting must not be silently reused under the other. The
+/// feature set contributes its [`FeatureSet::stamp_tag`] (not its `Debug`
+/// form), which is byte-identical to the historical stamp for the default
+/// paper-24 set — existing cached folds stay valid — while the extended set
+/// yields a distinct tag and therefore a retrain.
+///
+/// [`FeatureSet::stamp_tag`]: esp_core::FeatureSet::stamp_tag
+pub fn train_config_stamp(cfg: &EspConfig) -> String {
     format!(
-        "{:?} | {:?} | coalesce={}",
-        cfg.learner, cfg.features, cfg.coalesce
+        "{:?} | {} | coalesce={}",
+        cfg.learner,
+        cfg.features.stamp_tag(),
+        cfg.coalesce
     )
 }
 

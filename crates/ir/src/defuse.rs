@@ -375,6 +375,140 @@ mod tests {
     }
 
     #[test]
+    fn cmov_counts_as_use_of_its_destination() {
+        // cmov c, dst, src conditionally writes dst, so the prior value of
+        // dst flows through — it must count as used-before-def, never as a
+        // plain def that stops the scan.
+        let b = block(
+            vec![Insn::CMov {
+                c: Reg(0),
+                dst: Reg(1),
+                src: Reg(2),
+            }],
+            Terminator::Return { value: None },
+        );
+        assert!(used_before_def(&b, Reg(1)));
+        assert!(used_before_def(&b, Reg(0)));
+        assert!(used_before_def(&b, Reg(2)));
+    }
+
+    #[test]
+    fn use_before_def_across_a_diamond_join() {
+        // entry: branch to left/right; left defines r5; right does not;
+        // join reads r5. `used_before_def` is a *per-block* fact: the join
+        // block reports true no matter which predecessor defined the value,
+        // and the defining arm itself reports false.
+        let left = block(
+            vec![
+                Insn::LoadImm { dst: Reg(5), imm: 7 },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg(6),
+                    a: Reg(5),
+                    imm: 1,
+                },
+            ],
+            Terminator::Jump { target: BlockId(3) },
+        );
+        let right = block(vec![], Terminator::Jump { target: BlockId(3) });
+        let join = block(
+            vec![Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg(7),
+                a: Reg(5),
+                imm: 0,
+            }],
+            Terminator::Return {
+                value: Some(Reg(7)),
+            },
+        );
+        // The register defined only on the left arm:
+        assert!(!used_before_def(&left, Reg(5)), "left defines r5 first");
+        assert!(!used_before_def(&right, Reg(5)), "right never touches r5");
+        assert!(used_before_def(&join, Reg(5)), "join reads r5 live-in");
+        // And one defined on *no* path is indistinguishable per-block:
+        assert!(!used_before_def(&join, Reg(9)));
+    }
+
+    #[test]
+    fn branch_compare_regs_on_every_branch_op() {
+        for op in BranchOp::ALL {
+            let cond = |rs, rt| Terminator::CondBranch {
+                op,
+                rs,
+                rt,
+                taken: BlockId(1),
+                not_taken: BlockId(2),
+            };
+            // Flag materialised by an in-block compare: traces to {a, b}.
+            let flag_insn = if op.is_float() {
+                Insn::FCmp {
+                    op: CmpOp::Lt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                }
+            } else {
+                Insn::Cmp {
+                    op: CmpOp::Lt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                }
+            };
+            let b = block(vec![flag_insn], cond(Reg(2), None));
+            assert_eq!(
+                branch_compare_regs(&b),
+                vec![Reg(0), Reg(1)],
+                "{op:?}: compare-fed flag"
+            );
+            // Compare-against-immediate: only the register operand.
+            let b = block(
+                vec![Insn::CmpImm {
+                    op: CmpOp::Eq,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    imm: 3,
+                }],
+                cond(Reg(2), None),
+            );
+            assert_eq!(branch_compare_regs(&b), vec![Reg(0)], "{op:?}: cmp-imm");
+            // Live-in flag: fall back to the architectural operand.
+            let b = block(vec![], cond(Reg(4), None));
+            assert_eq!(branch_compare_regs(&b), vec![Reg(4)], "{op:?}: live-in");
+            // Two-register (MIPS) form compares directly.
+            let b = block(vec![], cond(Reg(0), Some(Reg(1))));
+            assert_eq!(
+                branch_compare_regs(&b),
+                vec![Reg(0), Reg(1)],
+                "{op:?}: two-reg"
+            );
+        }
+    }
+
+    #[test]
+    fn non_compare_flag_def_stops_the_trace() {
+        // The flag comes from arithmetic, not a compare: report the flag
+        // register itself, not the arithmetic operands.
+        let b = block(
+            vec![Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg(2),
+                a: Reg(0),
+                imm: 1,
+            }],
+            Terminator::CondBranch {
+                op: BranchOp::Bne,
+                rs: Reg(2),
+                rt: None,
+                taken: BlockId(1),
+                not_taken: BlockId(2),
+            },
+        );
+        assert_eq!(branch_compare_regs(&b), vec![Reg(2)]);
+    }
+
+    #[test]
     fn defining_insn_scans_backwards() {
         let b = block(
             vec![

@@ -36,7 +36,9 @@ if [[ "$fast" -eq 0 ]]; then
                predict_rows_per_sec predict_rows_per_sec_f32 \
                batch_kernel_speedup batch_kernel_identical f32_kernel_identical \
                sim sim_programs sim_events_total sim_trace_record_ms \
-               sim_replay_ms sim_branches_per_sec sim_deterministic; do
+               sim_replay_ms sim_branches_per_sec sim_deterministic \
+               analyze analyze_branches_per_sec lint_findings_total \
+               analyze_deterministic; do
         grep -q "\"$key\"" BENCH_pipeline.json \
             || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
     done
@@ -50,6 +52,23 @@ if [[ "$fast" -eq 0 ]]; then
         || { echo "f32 panel kernel diverged from the f32 scalar path" >&2; exit 1; }
     grep -q '"sim_deterministic": true' BENCH_pipeline.json \
         || { echo "arena replay A/B diverged: the sim is not deterministic" >&2; exit 1; }
+    grep -q '"analyze_deterministic": true' BENCH_pipeline.json \
+        || { echo "lint A/B diverged: the analyses are not deterministic" >&2; exit 1; }
+
+    echo "==> corpus lint gate (full-corpus findings vs results/lint_golden.json)"
+    cargo run --release --offline -q -p esp-bench --bin esp_lint -- \
+        --json target/lint_report.json > /dev/null
+    diff -u results/lint_golden.json target/lint_report.json \
+        || { echo "lint findings drifted from the golden report — if the change \
+is intentional, regenerate results/lint_golden.json with esp_lint --json" >&2; exit 1; }
+    rm -f target/lint_report.json
+
+    echo "==> static-vs-profile oracle (decided branches must match execution)"
+    cargo run --release --offline -q -p esp-bench --bin esp_lint -- \
+        --subset sort,grep,sed,gzip --oracle | tee lint_oracle.txt
+    grep -q 'oracle: PASS' lint_oracle.txt \
+        || { echo "a statically-decided branch contradicts its execution profile" >&2; exit 1; }
+    rm -f lint_oracle.txt
 
     echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
     cargo run --release --offline -q -p esp-serve --bin esp-client -- \
@@ -116,6 +135,14 @@ PYEOF
     grep -q 'gate: PASS' table4_f32.txt \
         || { echo "f32 flip rate exceeded the 0.05 bound" >&2; exit 1; }
     rm -f table4_f32.txt
+
+    echo "==> extended-features smoke (2-fold Table 4 subset, extended vs baseline)"
+    cargo run --release --offline -q -p esp-bench --bin repro_tables -- \
+        table4 --quick --subset sort,grep --features extended \
+        | tee table4_ext.txt
+    grep -q 'extended_vs_baseline:' table4_ext.txt \
+        || { echo "extended run is missing the extended_vs_baseline delta line" >&2; exit 1; }
+    rm -f table4_ext.txt
 fi
 
 echo "==> verify OK"

@@ -31,3 +31,58 @@ fn esptrace_format_starts_at_version_one() {
     assert_eq!(&esp_sim::TRACE_MAGIC, b"ESPT");
     assert_eq!(esp_sim::TRACE_HEADER_LEN, 20);
 }
+
+#[test]
+fn default_feature_set_stamp_is_byte_stable() {
+    // The `.espm` cache validates artifacts against a train-config stamp.
+    // Historically the stamp embedded `{:?}` of `FeatureSet`; adding the
+    // opt-in `extended` field must NOT change the bytes of any stamp a
+    // paper-feature-set model ever produced, or every cached artifact on
+    // disk silently invalidates. The tag for extended sets must differ so
+    // extended models can never satisfy a paper-set stamp.
+    let default = esp_core::FeatureSet::default();
+    assert!(!default.extended, "extended features are strictly opt-in");
+    assert_eq!(
+        default.stamp_tag(),
+        "FeatureSet { opcode_features: true, context_features: true, successor_features: true }",
+        "default stamp tag drifted — existing `.espm` caches would all invalidate"
+    );
+
+    let extended = esp_core::FeatureSet {
+        extended: true,
+        ..Default::default()
+    };
+    assert_ne!(extended.stamp_tag(), default.stamp_tag());
+    assert!(
+        extended.stamp_tag().contains("extended: true"),
+        "extended stamps must be self-describing"
+    );
+
+    // And through the full train-config stamp the cache actually compares:
+    let cfg = esp_core::EspConfig::default();
+    let mut ext_cfg = esp_core::EspConfig::default();
+    ext_cfg.features.extended = true;
+    let base_stamp = esp_eval::train_config_stamp(&cfg);
+    assert!(base_stamp.contains(
+        "FeatureSet { opcode_features: true, context_features: true, successor_features: true }"
+    ));
+    assert_ne!(esp_eval::train_config_stamp(&ext_cfg), base_stamp);
+}
+
+#[test]
+fn extended_encoding_is_additive() {
+    // The extended block strictly appends: paper-set encodings keep their
+    // dimension, extended sets add exactly EXTENDED_DIM columns.
+    assert_eq!(
+        esp_core::encoded_dim(&esp_core::FeatureSet::default()),
+        esp_core::ENCODED_DIM
+    );
+    let ext = esp_core::FeatureSet {
+        extended: true,
+        ..Default::default()
+    };
+    assert_eq!(
+        esp_core::encoded_dim(&ext),
+        esp_core::ENCODED_DIM + esp_core::EXTENDED_DIM
+    );
+}

@@ -37,6 +37,13 @@
 //! replay must produce bitwise-identical results (`sim_deterministic`, the
 //! run fails otherwise — the sim has no clocks and no RNG by design).
 //!
+//! A `"ledger"` block measures the serving-path cost of the accuracy
+//! ledger: two in-process `esp-serve` instances under identical
+//! full-profile-replay load, ledger on vs off
+//! (`ledger_rows_per_sec_on`/`_off`), with the relative gap in
+//! `ledger_overhead_pct` (raw — noise can dip it negative) and the
+//! enabled run's site count in `ledger_sites` (the run fails if zero).
+//!
 //! ```text
 //! bench_pipeline [--quick] [--threads N] [--out PATH]
 //! ```
@@ -489,6 +496,76 @@ fn main() {
         deterministic: analyze_deterministic,
     };
 
+    // ---- ledger-overhead probe: serving A/B with the accuracy loop -------
+    // Two in-process servers over the same synthetic artifact, identical
+    // deterministic load with every predicted row profiled back
+    // (`profile_rate = 1`): one with the accuracy ledger on, one with it
+    // off (PROFILE frames still arrive and are dropped at the
+    // one-atomic-load gate — the end-to-end cost of "disabled" includes
+    // the wire traffic). Median rows/sec of each over a few reps; the
+    // relative gap is the ledger's serving-path overhead. Raw in the JSON
+    // (noise can push it slightly negative), clamped in the summary.
+    const LEDGER_REPS: usize = 3;
+    eprintln!("ledger probe: serve A/B with profile replay, ledger on vs off ({LEDGER_REPS} reps)…");
+    let ledger_artifact = esp_artifact::ModelArtifact::synthetic(30, 10, 42);
+    let ledger_load = esp_serve::LoadGenConfig {
+        requests: if quick { 40 } else { 120 },
+        batch: 32,
+        keys: 512,
+        seed: 0x1ED6E4,
+        profile_rate: 1.0,
+    };
+    let mut ledger_rows = [0.0f64; 2]; // [on, off]
+    let mut ledger_sites = 0u64;
+    for (slot, enabled) in [(0usize, true), (1usize, false)] {
+        let mut rates: Vec<f64> = Vec::with_capacity(LEDGER_REPS);
+        for _ in 0..LEDGER_REPS {
+            let scfg = esp_serve::ServeConfig {
+                ledger: enabled,
+                threads: 1,
+                ..esp_serve::ServeConfig::default()
+            };
+            let handle = esp_serve::serve(&ledger_artifact, "127.0.0.1:0", &scfg)
+                .expect("ledger probe server");
+            let report =
+                esp_serve::loadgen::run(&handle.addr().to_string(), 30, &ledger_load)
+                    .expect("ledger probe run");
+            rates.push(report.predictions_per_sec);
+            if enabled {
+                ledger_sites = esp_serve::loadgen::gauge_value(
+                    &report.server.exposition,
+                    "esp_ledger_sites",
+                )
+                .unwrap_or(0.0) as u64;
+            }
+            handle.shutdown();
+        }
+        ledger_rows[slot] = median(&mut rates);
+    }
+    let ledger_overhead_pct = if ledger_rows[0] > 0.0 {
+        (ledger_rows[1] / ledger_rows[0] - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  ledger: on {:.0} rows/s vs off {:.0} rows/s — overhead {:+.2}% \
+         (reported as {:.2}%), {ledger_sites} sites",
+        ledger_rows[0],
+        ledger_rows[1],
+        ledger_overhead_pct,
+        ledger_overhead_pct.max(0.0)
+    );
+    if ledger_sites == 0 {
+        eprintln!("ERROR: the enabled-ledger probe recorded no sites");
+        std::process::exit(1);
+    }
+    let ledger = LedgerReport {
+        rows_per_sec_on: ledger_rows[0],
+        rows_per_sec_off: ledger_rows[1],
+        overhead_pct: ledger_overhead_pct,
+        sites: ledger_sites,
+    };
+
     // ---- stage 3: leave-one-out cross-validation (folds) -----------------
     let cv_pool: Vec<TrainingProgram<'_>> = if quick {
         programs.iter().take(8).map(|tp| TrainingProgram {
@@ -577,6 +654,7 @@ fn main() {
         &kernel,
         &sim,
         &analyze,
+        &ledger,
         threads,
         cores,
         quick,
@@ -667,6 +745,15 @@ struct AnalyzeReport {
     deterministic: bool,
 }
 
+/// The `"ledger"` block of the report: served rows/sec with the accuracy
+/// ledger on vs off under full profile replay, and the relative overhead.
+struct LedgerReport {
+    rows_per_sec_on: f64,
+    rows_per_sec_off: f64,
+    overhead_pct: f64,
+    sites: u64,
+}
+
 /// Wall-clock of each pipeline phase (parallel variant where both exist).
 struct Phases {
     setup_ms: f64,
@@ -693,6 +780,7 @@ fn render_json(
     kernel: &KernelReport,
     sim: &SimReport,
     analyze: &AnalyzeReport,
+    ledger: &LedgerReport,
     threads: usize,
     cores: usize,
     quick: bool,
@@ -792,6 +880,21 @@ fn render_json(
         "    \"analyze_deterministic\": {}\n",
         analyze.deterministic
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"ledger\": {\n");
+    s.push_str(&format!(
+        "    \"ledger_rows_per_sec_on\": {:.0},\n",
+        ledger.rows_per_sec_on
+    ));
+    s.push_str(&format!(
+        "    \"ledger_rows_per_sec_off\": {:.0},\n",
+        ledger.rows_per_sec_off
+    ));
+    s.push_str(&format!(
+        "    \"ledger_overhead_pct\": {:.3},\n",
+        ledger.overhead_pct
+    ));
+    s.push_str(&format!("    \"ledger_sites\": {}\n", ledger.sites));
     s.push_str("  },\n");
     s.push_str("  \"stages\": [\n");
     for (i, st) in stages.iter().enumerate() {

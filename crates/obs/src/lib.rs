@@ -18,6 +18,18 @@
 //! * [`quantile`] — exact and histogram-based quantile estimators shared by
 //!   the load generator and the `STATS` snapshot.
 //!
+//! Two production-telemetry pieces ride on top:
+//!
+//! * [`ledger`] — the per-site accuracy [`Ledger`]: serve-side predictions
+//!   joined with `PROFILE`-fed observed outcomes into live
+//!   miss-rate-vs-observed gauges, a 10-bucket calibration histogram, and
+//!   the `/sitez` hot-site table. Deterministic exposition regardless of
+//!   shard/thread interleaving; same zero-cost-when-disabled contract as
+//!   tracing.
+//! * [`window`] — a [`SlidingWindow`] ring of fixed-width time buckets
+//!   behind a [`Clock`] trait (with a manual [`TestClock`]), so windowed
+//!   rps/p99/mispredict-rate are unit-testable deterministically.
+//!
 //! # The zero-cost-when-disabled contract
 //!
 //! Tracing is off by default. A [`span!`] or [`instant!`] in a hot loop
@@ -40,14 +52,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
 pub mod metrics;
 pub mod quantile;
 pub mod ring;
 pub mod trace;
+pub mod window;
 
+pub use ledger::{Ledger, LedgerSummary, OutcomeRecord, SiteReport};
 pub use metrics::{Counter, Gauge, Log2Histogram, MetricsRegistry};
 pub use quantile::exact_quantile;
 pub use trace::{ArgValue, Recorder, SpanGuard, TraceEvent};
+pub use window::{Clock, SlidingWindow, SystemClock, TestClock, WindowSnapshot};
 
 use std::sync::OnceLock;
 

@@ -135,25 +135,32 @@ impl Log2Histogram {
     /// whose cumulative count reaches `ceil(q · count)`. Returns 0 when
     /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
-            }
-        }
-        u64::MAX
+        log2_counts_quantile(&self.bucket_counts(), q)
     }
 
     fn bucket_counts(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+}
+
+/// Quantile over an array of log2 bucket counts (bucket `i` holds values of
+/// bit length `i`): the upper bound (`2^i − 1`) of the first bucket whose
+/// cumulative count reaches `ceil(q · total)`. Returns 0 when empty. Shared
+/// by [`Log2Histogram`] and the sliding-window merge in [`crate::window`].
+pub fn log2_counts_quantile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
+        }
+    }
+    u64::MAX
 }
 
 /// A registry of named metrics. Cheap to clone handles out of; rendering

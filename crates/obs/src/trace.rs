@@ -324,6 +324,56 @@ pub fn write_json(path: &std::path::Path) -> std::io::Result<usize> {
     Ok(events.len())
 }
 
+/// Merge several [`render_json`]-format trace files onto one Perfetto
+/// timeline and write the union to `out`. Each input is `(label, path)`;
+/// the events of input `i` are re-homed to pid `i + 1` and a
+/// `process_name` metadata event carrying the label is prepended, so a
+/// client trace and a server trace (both written with pid 1) show up as
+/// two named process lanes sharing one clock axis. Returns the number of
+/// trace events written (metadata excluded).
+///
+/// This is a line-based transform of our own writer's output — one event
+/// object per line, `"pid":1` rendered before any `args` — not a general
+/// JSON parser; feeding it traces from other producers is unsupported.
+pub fn merge_json(
+    inputs: &[(&str, &std::path::Path)],
+    out: &std::path::Path,
+) -> std::io::Result<usize> {
+    let mut merged = String::from("[\n");
+    let mut lines: Vec<String> = Vec::new();
+    for (i, (label, path)) in inputs.iter().enumerate() {
+        let pid = i + 1;
+        let mut name = String::new();
+        escape_json(label, &mut name);
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+        let text = std::fs::read_to_string(path)?;
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() || line == "[" || line == "]" {
+                continue;
+            }
+            // `"pid":1` renders before `args` and quotes inside args are
+            // escaped, so the first occurrence is always the event's own
+            // pid field.
+            lines.push(line.replacen("\"pid\":1,", &format!("\"pid\":{pid},"), 1));
+        }
+    }
+    let events = lines.len() - inputs.len();
+    for (i, line) in lines.iter().enumerate() {
+        merged.push_str(line);
+        if i + 1 < lines.len() {
+            merged.push(',');
+        }
+        merged.push('\n');
+    }
+    merged.push_str("]\n");
+    std::fs::write(out, merged)?;
+    Ok(events)
+}
+
 /// The recording facade. `Recorder::current()` snapshots the global
 /// enabled flag once; every operation on a disabled recorder is a no-op
 /// that takes no timestamp and allocates nothing.
@@ -557,6 +607,43 @@ mod tests {
             .map(|e| e.tid)
             .collect();
         assert_eq!(tids.len(), 1, "sequential workers share a trace track");
+    }
+
+    #[test]
+    fn merge_json_rehomes_pids_and_labels_processes() {
+        let dir = std::env::temp_dir().join(format!("esp_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let mk = |name: &'static str, ts: u64| TraceEvent {
+            name,
+            cat: "t",
+            kind: EventKind::Complete,
+            ts_us: ts,
+            dur_us: 5,
+            tid: 1,
+            args: vec![("note", ArgValue::Str("\"pid\":1,\"tid\":".into()))],
+        };
+        let client = dir.join("client.json");
+        let server = dir.join("server.json");
+        std::fs::write(&client, render_json(&[mk("send", 10)])).expect("client trace");
+        std::fs::write(&server, render_json(&[mk("recv", 12), mk("compute", 13)]))
+            .expect("server trace");
+        let out = dir.join("merged.json");
+        let n = merge_json(&[("client", &client), ("server", &server)], &out)
+            .expect("merge ok");
+        assert_eq!(n, 3);
+        let merged = std::fs::read_to_string(&out).expect("read merged");
+        // Events re-homed per input; the decoy "pid":1 inside the escaped
+        // string arg is untouched.
+        assert!(merged.contains(r#""name":"send","cat":"t","ph":"X","ts":10,"dur":5,"pid":1"#));
+        assert!(merged.contains(r#""name":"recv","cat":"t","ph":"X","ts":12,"dur":5,"pid":2"#));
+        assert!(merged.contains(r#""note":"\"pid\":1,\"tid\":""#));
+        // Process-name metadata rows label the lanes.
+        assert!(merged.contains(r#""name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"client"}"#));
+        assert!(merged.contains(r#""name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"server"}"#));
+        // Still a well-formed one-event-per-line array: 5 rows + brackets.
+        assert!(merged.starts_with("[\n") && merged.ends_with("]\n"));
+        assert_eq!(merged.lines().count(), 7);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

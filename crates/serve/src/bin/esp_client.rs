@@ -5,11 +5,13 @@
 //! esp-client info      --addr HOST:PORT
 //! esp-client stats     --addr HOST:PORT
 //! esp-client shutdown  --addr HOST:PORT
+//! esp-client get       --addr HOST:PORT [--path /metrics]
 //! esp-client bench     [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]
 //!                      [--requests N] [--batch N] [--keys N] [--seed S]
 //!                      [--out PATH] [--quick] [--threads N] [--cache N]
-//!                      [--predict-chunk N]
+//!                      [--predict-chunk N] [--profile-rate P]
 //!                      [--trace-out FILE] [--metrics-out FILE]
+//! esp-client merge-traces --out FILE LABEL=PATH [LABEL=PATH ...]
 //! esp-client registry  (list | inspect --name M [--model-version V] | gc --name M --keep K)
 //!                      --dir DIR
 //! ```
@@ -26,6 +28,17 @@
 //! shrinks the run for CI. `--trace-out` records client-side spans into a
 //! Perfetto-loadable trace; `--metrics-out` saves the server's metrics text
 //! exposition (as carried by the final `STATS` reply).
+//!
+//! `bench --profile-rate P` closes the accuracy loop: that fraction of the
+//! predicted rows is replayed back as `PROFILE` outcomes drawn from a
+//! seeded per-key ground truth, and the report gains the server ledger's
+//! `observed_miss_rate` / `calibration_ece` plus `profile_updates_per_sec`.
+//!
+//! `get` speaks plain HTTP/1.1 over a raw `TcpStream` against the server's
+//! `--http-addr` telemetry sidecar (no curl required); `merge-traces`
+//! unions per-process Perfetto traces onto one timeline, one pid per
+//! labelled input, joined by the `req` ids stamped on client and server
+//! spans.
 
 use std::path::Path;
 
@@ -83,19 +96,91 @@ fn main() {
             connect(&args).shutdown().unwrap_or_else(|e| fail(e.to_string()));
             println!("server acknowledged shutdown");
         }
+        Some("get") => get(&args),
         Some("bench") => bench(&args),
+        Some("merge-traces") => merge_traces(&args),
         Some("registry") => registry(&args),
         _ => {
             eprintln!(
                 "usage: esp-client (info|stats|shutdown) --addr HOST:PORT\n\
+                 \x20      esp-client get --addr HOST:PORT [--path /metrics]\n\
                  \x20      esp-client bench [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]\n\
                  \x20                       [--requests N] [--batch N] [--keys N] [--seed S]\n\
                  \x20                       [--out PATH] [--quick] [--threads N] [--cache N]\n\
-                 \x20                       [--predict-chunk N] [--trace-out FILE] [--metrics-out FILE]\n\
+                 \x20                       [--predict-chunk N] [--profile-rate P]\n\
+                 \x20                       [--trace-out FILE] [--metrics-out FILE]\n\
+                 \x20      esp-client merge-traces --out FILE LABEL=PATH [LABEL=PATH ...]\n\
                  \x20      esp-client registry (list | inspect --name M [--model-version V] | gc --name M --keep K) --dir DIR"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Plain HTTP/1.1 `GET` over a raw `TcpStream` — lets scripts smoke-test
+/// the telemetry sidecar without curl. Prints the body to stdout; a
+/// non-200 status is an error.
+fn get(args: &[String]) {
+    use std::io::{Read, Write};
+    let addr = flag_value(args, "--addr")
+        .unwrap_or_else(|| fail("get needs --addr HOST:PORT (the server's --http-addr)".into()));
+    let path = flag_value(args, "--path").unwrap_or("/metrics");
+    let mut stream = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .and_then(|()| stream.flush())
+        .unwrap_or_else(|e| fail(format!("cannot send request: {e}")));
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .unwrap_or_else(|e| fail(format!("cannot read response: {e}")));
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| fail(format!("malformed response from {addr}")));
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        fail(format!("GET {path}: {status}"));
+    }
+    print!("{body}");
+}
+
+/// Union per-process Perfetto traces onto one timeline via
+/// [`esp_obs::trace::merge_json`]: each positional `LABEL=PATH` input
+/// becomes its own pid, labelled by a `process_name` metadata event.
+fn merge_traces(args: &[String]) {
+    let out = flag_value(args, "--out")
+        .unwrap_or_else(|| fail("merge-traces needs --out FILE".into()));
+    let mut inputs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => i += 2,
+            arg => {
+                let (label, path) = arg.split_once('=').unwrap_or_else(|| {
+                    fail(format!("inputs are LABEL=PATH, got {arg:?}"))
+                });
+                if label.is_empty() || path.is_empty() {
+                    fail(format!("inputs are LABEL=PATH, got {arg:?}"));
+                }
+                inputs.push((label.to_string(), std::path::PathBuf::from(path)));
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        fail("merge-traces needs at least one LABEL=PATH input".into());
+    }
+    let borrowed: Vec<(&str, &Path)> = inputs
+        .iter()
+        .map(|(l, p)| (l.as_str(), p.as_path()))
+        .collect();
+    match esp_obs::trace::merge_json(&borrowed, Path::new(out)) {
+        Ok(n) => println!("merged {n} events from {} trace(s) into {out}", inputs.len()),
+        Err(e) => fail(format!("cannot merge traces: {e}")),
     }
 }
 
@@ -115,7 +200,15 @@ fn bench(args: &[String]) {
         batch: flag_value(args, "--batch").map_or(defaults.batch, |v| parse(v, "--batch")),
         keys: flag_value(args, "--keys").map_or(defaults.keys, |v| parse(v, "--keys")),
         seed: flag_value(args, "--seed").map_or(defaults.seed, |v| parse(v, "--seed")),
+        profile_rate: flag_value(args, "--profile-rate")
+            .map_or(defaults.profile_rate, |v| parse(v, "--profile-rate")),
     };
+    if !(0.0..=1.0).contains(&cfg.profile_rate) {
+        fail(format!(
+            "--profile-rate must be in [0, 1], got {}",
+            cfg.profile_rate
+        ));
+    }
     let out = flag_value(args, "--out").unwrap_or("BENCH_serve.json");
 
     // Either drive a remote server, or spawn one in-process for the run.
@@ -197,6 +290,12 @@ fn bench(args: &[String]) {
         }
     }
     println!("{}", report.summary_line());
+    if cfg.profile_rate > 0.0 {
+        println!(
+            "accuracy loop: observed miss rate {:.4}, calibration ece {:.4}, {:.0} profile updates/s",
+            report.observed_miss_rate, report.calibration_ece, report.profile_updates_per_sec
+        );
+    }
     println!("wrote {out}");
 }
 
@@ -217,6 +316,7 @@ fn sweep_chunk(
         batch: 64, // above the parallel fan-out threshold
         keys: 4096,
         seed: 0xC4A17,
+        profile_rate: 0.0,
     };
     let mut best = (CANDIDATES[0], 0.0f64);
     for &candidate in &CANDIDATES {

@@ -20,7 +20,11 @@
 //! Observability: `--trace-out FILE` enables span tracing and writes a
 //! Perfetto-loadable trace on shutdown; `--metrics-out FILE` writes the
 //! server's Prometheus text exposition on shutdown (it is also served live
-//! by the `STATS` opcode).
+//! by the `STATS` opcode). `--http-addr HOST:PORT` additionally starts the
+//! HTTP telemetry sidecar serving `GET /metrics`, `/healthz` and
+//! `/sitez?top=K` (port 0 picks an ephemeral port; the bound address is
+//! printed). `--no-ledger` disables the per-site accuracy ledger fed by the
+//! `PROFILE` opcode (it is on by default).
 
 use esp_artifact::{AnyArtifact, ModelArtifact, Registry};
 use esp_serve::{serve_any, Precision, ServeConfig};
@@ -83,6 +87,7 @@ fn main() {
             "usage: esp-serve (--model PATH | --registry DIR --name M [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
              \x20                [--addr HOST:PORT] [--threads N] [--cache N]\n\
              \x20                [--precision f32|f64] [--predict-chunk N]\n\
+             \x20                [--http-addr HOST:PORT] [--no-ledger]\n\
              \x20                [--trace-out FILE] [--metrics-out FILE]"
         );
         return;
@@ -106,6 +111,8 @@ fn main() {
         predict_chunk: flag_value(&args, "--predict-chunk")
             .map_or(32, |v| parse(v, "--predict-chunk")),
         precision,
+        http_addr: flag_value(&args, "--http-addr").map(String::from),
+        ledger: !args.iter().any(|a| a == "--no-ledger"),
     };
 
     let mut handle = match serve_any(&artifact, addr, &cfg) {
@@ -130,6 +137,9 @@ fn main() {
         served_bits,
         handle.addr(),
     );
+    if let Some(http) = handle.http_addr() {
+        eprintln!("esp-serve telemetry on http://{http} — /metrics /healthz /sitez");
+    }
     handle.wait();
     if let Some(path) = &metrics_out {
         match std::fs::write(path, handle.metrics_text()) {

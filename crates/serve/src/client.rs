@@ -5,14 +5,20 @@ use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, write_frame, PredictRow, Prediction, Request, Response, ServeError, ServerInfo,
-    StatsSnapshot,
+    read_frame, write_frame, PredictRow, Prediction, ProfileAck, ProfileRecord, Request,
+    Response, ServeError, ServerInfo, StatsSnapshot,
 };
 
 /// One connection to an `esp-serve` instance.
+///
+/// Every request is stamped with a monotonically increasing request id
+/// (starting at 1) that the server echoes on the response and carries into
+/// its spans — the cross-process correlation key a merged client+server
+/// trace joins on. A response echoing the wrong id is a protocol error.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    next_req_id: u64,
 }
 
 impl Client {
@@ -23,14 +29,32 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            next_req_id: 1,
         })
     }
 
+    /// The id the next request will carry.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_req_id
+    }
+
     fn round_trip(&mut self, req: &Request) -> Result<Response, ServeError> {
-        write_frame(&mut self.writer, &req.encode()?)?;
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let mut sp = esp_obs::span!("client", "round_trip", req = req_id);
+        write_frame(&mut self.writer, &req.encode_with_id(req_id)?)?;
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
-        match Response::decode(&payload)? {
+        let (echoed, resp) = Response::decode_with_id(&payload)?;
+        if echoed != req_id {
+            return Err(ServeError::Protocol(format!(
+                "response echoes request id {echoed}, expected {req_id}"
+            )));
+        }
+        if sp.is_enabled() {
+            sp.arg("ok", !matches!(resp, Response::Error(_)));
+        }
+        match resp {
             Response::Error(msg) => Err(ServeError::Remote(msg)),
             resp => Ok(resp),
         }
@@ -44,6 +68,18 @@ impl Client {
             Response::Predictions(ps) => Ok(ps),
             other => Err(ServeError::Protocol(format!(
                 "expected predictions, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Report observed branch outcomes for the server's accuracy ledger.
+    /// Keys are [`crate::site_key`] bytes; zero-length keys and non-finite
+    /// or negative weights fail client-side before anything is sent.
+    pub fn profile(&mut self, records: Vec<ProfileRecord>) -> Result<ProfileAck, ServeError> {
+        match self.round_trip(&Request::Profile(records))? {
+            Response::Profiled(ack) => Ok(ack),
+            other => Err(ServeError::Protocol(format!(
+                "expected profile ack, got {other:?}"
             ))),
         }
     }

@@ -1,0 +1,319 @@
+//! The HTTP/1.1 telemetry sidecar: a std-only scrape endpoint riding next
+//! to the frame protocol, so a stock Prometheus (or `curl`, or a plain
+//! `TcpStream`) can observe a live server without speaking the binary
+//! protocol.
+//!
+//! Three routes, all `GET`:
+//!
+//! * `/metrics` — the unified Prometheus text exposition (registry +
+//!   `esp_ledger_` families), byte-identical to what the STATS opcode
+//!   carries.
+//! * `/healthz` — a JSON liveness document: model facts, uptime, and the
+//!   last-minute windowed rps/p50/p99/mispredict-rate.
+//! * `/sitez?top=K` — the hot-site accuracy table (default K = 10).
+//!
+//! The listener runs on its own thread in nonblocking-accept mode, polling
+//! the server's stop flag between accepts — the same cooperative-shutdown
+//! discipline as the frame acceptor, so `SHUTDOWN` (or dropping the
+//! handle) tears both listeners down. Requests are parsed with a resumable
+//! reader in the `FrameReader` mold: a read timeout mid-request keeps the
+//! partial bytes buffered and resumes, it never desynchronizes. One
+//! response per connection (`Connection: close`); scrapers open a fresh
+//! connection per scrape, which keeps the sidecar stateless.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::PROTOCOL_VERSION;
+use crate::server::Shared;
+
+/// Requests beyond this size are refused: scrape requests are one line
+/// plus a handful of headers.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// How long the accept loop sleeps between polls of the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Per-connection socket read timeout; a stalled scraper cannot wedge the
+/// sidecar past this.
+const READ_TIMEOUT: Duration = Duration::from_millis(2000);
+
+/// Bind `spec` and spawn the sidecar thread. Returns the bound address
+/// (`spec` may carry port 0) and the join handle; the thread exits when
+/// `shared.stop` goes true.
+pub(crate) fn spawn(
+    spec: &str,
+    shared: Arc<Shared>,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(spec)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::spawn(move || {
+        while !shared.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    shared.http_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = serve_one(stream, &shared);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    });
+    Ok((addr, handle))
+}
+
+/// Incremental request reader in the `FrameReader` mold: accumulate bytes
+/// until the blank line ending the header block, surviving
+/// `WouldBlock`/`TimedOut` reads without losing what already arrived.
+struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    fn new() -> Self {
+        RequestReader {
+            buf: Vec::with_capacity(512),
+        }
+    }
+
+    /// Drive the request forward until its header block completes. Returns
+    /// the buffered bytes; `Ok(None)` means the peer closed before
+    /// finishing a request.
+    fn read(&mut self, r: &mut impl Read) -> std::io::Result<Option<&[u8]>> {
+        let mut chunk = [0u8; 512];
+        loop {
+            if self.buf.windows(4).any(|w| w == b"\r\n\r\n")
+                || self.buf.windows(2).any(|w| w == b"\n\n")
+            {
+                return Ok(Some(&self.buf));
+            }
+            if self.buf.len() >= MAX_REQUEST {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    "request header block exceeds 8 KiB",
+                ));
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // A scrape request normally arrives in one segment; if the
+                // peer stalls mid-request past the read timeout, give up on
+                // this connection (the sidecar serves one response per
+                // connection, so there is no stream to desynchronize).
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut req = RequestReader::new();
+    let response = match req.read(&mut reader) {
+        Ok(Some(bytes)) => route(bytes, shared),
+        Ok(None) => return Ok(()),
+        Err(_) => http_response(408, "text/plain; charset=utf-8", "request timed out\n"),
+    };
+    writer.write_all(response.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Parse the request line and dispatch. Anything that is not a well-formed
+/// `GET` of a known path gets a plain-text error body.
+fn route(request: &[u8], shared: &Shared) -> String {
+    let text = String::from_utf8_lossy(request);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return http_response(
+            405,
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => http_response(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &shared.exposition(),
+        ),
+        "/healthz" => http_response(200, "application/json", &healthz_json(shared)),
+        "/sitez" => match parse_top(query) {
+            Ok(top) => http_response(200, "application/json", &shared.ledger.sitez_json(top)),
+            Err(msg) => http_response(400, "text/plain; charset=utf-8", &msg),
+        },
+        _ => http_response(404, "text/plain; charset=utf-8", "no such route\n"),
+    }
+}
+
+/// Parse `top=K` from a `/sitez` query string; default 10. Every pair
+/// must be a well-formed `top=K` (repeats allowed; the last one wins).
+fn parse_top(query: Option<&str>) -> Result<usize, String> {
+    let Some(query) = query else { return Ok(10) };
+    let mut top = 10;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k != "top" {
+            return Err(format!("unknown query parameter {k:?} (expected top=K)\n"));
+        }
+        top = v
+            .parse::<usize>()
+            .map_err(|_| format!("top={v:?} is not a non-negative integer\n"))?;
+    }
+    Ok(top)
+}
+
+fn healthz_json(shared: &Shared) -> String {
+    use esp_obs::window::Clock as _;
+    let info = shared.info();
+    let now_us = shared.clock.now_us();
+    let req = shared.req_window.snapshot(now_us);
+    let observed = shared.observed_window.snapshot(now_us);
+    let mispredicted = shared.mispredict_window.snapshot(now_us);
+    let window_miss_rate = if observed.sum > 0 {
+        mispredicted.sum as f64 / observed.sum as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"model\": \"{}\",\n  \"dim\": {},\n  \"hidden\": {},\n  \
+         \"format_version\": {},\n  \"protocol_version\": {},\n  \
+         \"precision_bits\": {},\n  \"uptime_s\": {:.3},\n  \
+         \"ledger_enabled\": {},\n  \"http_requests\": {},\n  \
+         \"window\": {{\"seconds\": {}, \"rps\": {:.3}, \"p50_us\": {}, \
+         \"p99_us\": {}, \"mispredict_rate\": {}}}\n}}\n",
+        escape(&info.corpus_id),
+        info.dim,
+        info.hidden,
+        info.format_version,
+        PROTOCOL_VERSION,
+        shared.precision_bits(),
+        now_us as f64 / 1e6,
+        shared.ledger.enabled(),
+        shared.http_requests.load(Ordering::Relaxed),
+        req.window_s,
+        req.rate_per_sec,
+        req.p50,
+        req.p99,
+        window_miss_rate,
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn http_response(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_parsing() {
+        assert_eq!(parse_top(None), Ok(10));
+        assert_eq!(parse_top(Some("")), Ok(10));
+        assert_eq!(parse_top(Some("top=5")), Ok(5));
+        assert_eq!(parse_top(Some("top=0")), Ok(0));
+        assert!(parse_top(Some("top=-1")).is_err());
+        assert!(parse_top(Some("top=abc")).is_err());
+        assert!(parse_top(Some("depth=3")).is_err());
+    }
+
+    #[test]
+    fn responses_carry_content_length() {
+        let r = http_response(200, "text/plain", "hello\n");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 6\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    /// A `Read` serving scripted chunks with timeouts, like a slow client.
+    struct Stutter {
+        script: Vec<Result<Vec<u8>, ErrorKind>>,
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.script.pop() {
+                None => Ok(0),
+                Some(Err(kind)) => Err(kind.into()),
+                Some(Ok(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn request_reader_survives_interrupts_and_split_requests() {
+        let request = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mid = request.len() / 2;
+        let mut r = Stutter {
+            script: vec![
+                Ok(request[mid..].to_vec()),
+                Err(ErrorKind::Interrupted),
+                Ok(request[..mid].to_vec()),
+            ],
+        };
+        let mut reader = RequestReader::new();
+        let got = reader.read(&mut r).unwrap().unwrap();
+        assert_eq!(got, request);
+    }
+
+    #[test]
+    fn request_reader_caps_header_block() {
+        struct Infinite;
+        impl Read for Infinite {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                buf.fill(b'A');
+                Ok(buf.len())
+            }
+        }
+        let err = RequestReader::new().read(&mut Infinite).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+}

@@ -21,6 +21,15 @@
 //!   binary and the integration tests.
 //! - [`loadgen`] — a deterministic load generator that writes
 //!   `BENCH_serve.json`.
+//! - [`http`] — a std-only HTTP/1.1 telemetry sidecar (`--http-addr`)
+//!   serving `GET /metrics`, `/healthz` and `/sitez?top=K`, sharing the
+//!   exact exposition bytes the `STATS` opcode carries.
+//!
+//! Since protocol v3 the server also closes the accuracy loop: clients
+//! stream observed branch outcomes back via the `PROFILE` opcode, and an
+//! `esp_obs::Ledger` joins them with served predictions into live
+//! miss-rate-vs-observed and calibration telemetry, keyed by [`site_key`]
+//! (the cache's raw-bits row+mask key).
 //!
 //! Bitwise identity is the design invariant: clients send *raw* encoded
 //! rows plus masks (what `esp_core::encode` produces), and the server
@@ -33,16 +42,18 @@
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
+pub use cache::cache_key as site_key;
 pub use client::Client;
 pub use loadgen::{key_pool, LoadGenConfig, LoadGenReport};
 pub use metrics::Metrics;
 pub use protocol::{
-    FrameReader, PredictRow, Prediction, Request, Response, ServeError, ServerInfo,
-    StatsSnapshot,
+    FrameReader, PredictRow, Prediction, ProfileAck, ProfileRecord, Request, Response,
+    ServeError, ServerInfo, StatsSnapshot, PROTOCOL_VERSION,
 };
 pub use server::{serve, serve_any, Precision, ServeConfig, ServerHandle};

@@ -7,13 +7,21 @@
 //! connection the server processes them in order too, making the reported
 //! cache hit rate reproducible. Timings, of course, vary with the machine —
 //! that is what the file is for.
+//!
+//! With `profile_rate > 0` the generator also closes the accuracy loop:
+//! each pool key gets a deterministic ground-truth taken-probability (seed
+//! `+2`), and after every predict batch a seeded sampler (seed `+3`) draws
+//! outcomes for a fraction of the rows and streams them back via the
+//! `PROFILE` opcode. The run then reports the server ledger's
+//! `observed_miss_rate` and `calibration_ece`, read back out of the final
+//! `STATS` exposition.
 
 use std::path::Path;
 
 use esp_runtime::Pcg32;
 
 use crate::client::Client;
-use crate::protocol::{PredictRow, ServeError, StatsSnapshot};
+use crate::protocol::{PredictRow, ProfileRecord, ServeError, StatsSnapshot};
 
 /// Load-generator knobs. Defaults produce a few seconds of traffic.
 #[derive(Debug, Clone)]
@@ -27,6 +35,10 @@ pub struct LoadGenConfig {
     pub keys: usize,
     /// RNG seed for the pool and the request sequence.
     pub seed: u64,
+    /// Fraction of predicted rows replayed back as `PROFILE` outcomes
+    /// (`0.0` disables the accuracy loop entirely — no profile frames are
+    /// sent).
+    pub profile_rate: f64,
 }
 
 impl Default for LoadGenConfig {
@@ -36,6 +48,7 @@ impl Default for LoadGenConfig {
             batch: 32,
             keys: 256,
             seed: 0xBE7C4,
+            profile_rate: 0.0,
         }
     }
 }
@@ -75,6 +88,15 @@ pub struct LoadGenReport {
     /// Where `predict_chunk` came from: `"flag"` (`--predict-chunk`),
     /// `"sweep"` (chosen by the bench's one-time sweep), or `"default"`.
     pub predict_chunk_source: String,
+    /// The server ledger's observed-weighted miss rate at the end of the
+    /// run (`NaN` when no outcomes were profiled back).
+    pub observed_miss_rate: f64,
+    /// The server ledger's expected calibration error at the end of the
+    /// run (`NaN` when no outcomes were profiled back).
+    pub calibration_ece: f64,
+    /// `PROFILE` outcome records streamed back per second (`0` when
+    /// `profile_rate` is `0`).
+    pub profile_updates_per_sec: f64,
     /// Server counters at the end of the run.
     pub server: StatsSnapshot,
 }
@@ -103,6 +125,15 @@ fn exact_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
     esp_obs::exact_quantile(sorted_us, q) as f64 / 1e3
 }
 
+/// JSON has no NaN/Infinity: non-finite values render as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Build the deterministic key pool: `keys` synthetic rows of width `dim`.
 /// Masks mostly keep features live, with a seeded sprinkling of gated
 /// positions so the mask path is exercised.
@@ -120,7 +151,27 @@ pub fn key_pool(dim: usize, cfg: &LoadGenConfig) -> Vec<PredictRow> {
 /// Run the generator against a server. The pre-run server stats are
 /// subtracted out, so the reported cache hit rate covers exactly this run.
 pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport, ServeError> {
+    if !(0.0..=1.0).contains(&cfg.profile_rate) {
+        return Err(ServeError::Protocol(format!(
+            "profile rate must be in [0, 1], got {}",
+            cfg.profile_rate
+        )));
+    }
     let pool = key_pool(dim, cfg);
+    // The accuracy-loop replay state: every pool key gets a site key (the
+    // server's cache/ledger key for that row) and a deterministic
+    // ground-truth taken-probability the outcome sampler draws against.
+    let site_keys: Vec<Vec<u8>> = pool
+        .iter()
+        .map(|r| crate::cache::cache_key(&r.row, &r.mask))
+        .collect();
+    let mut truth_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(2));
+    let truth: Vec<f64> = (0..pool.len())
+        .map(|_| truth_rng.gen_range(0.0..1.0))
+        .collect();
+    let mut profile_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(3));
+    let mut profile_updates = 0u64;
+
     let mut client = Client::connect(addr)?;
     let before = client.stats()?;
     let mut seq = Pcg32::seed_from_u64(cfg.seed.wrapping_add(1));
@@ -129,9 +180,10 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
 
     let run_start = std::time::Instant::now();
     for _ in 0..cfg.requests {
-        let batch: Vec<PredictRow> = (0..cfg.batch)
-            .map(|_| pool[seq.gen_range(0..pool.len())].clone())
+        let picks: Vec<usize> = (0..cfg.batch)
+            .map(|_| seq.gen_range(0..pool.len()))
             .collect();
+        let batch: Vec<PredictRow> = picks.iter().map(|&i| pool[i].clone()).collect();
         let _sp = esp_obs::span!("client", "predict", rows = cfg.batch);
         let sent = std::time::Instant::now();
         let preds = client.predict(batch)?;
@@ -139,6 +191,22 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
         latencies_us.push(us);
         hist.record(us);
         debug_assert_eq!(preds.len(), cfg.batch);
+        if cfg.profile_rate > 0.0 {
+            let mut records = Vec::new();
+            for &i in &picks {
+                if profile_rng.gen_bool(cfg.profile_rate) {
+                    records.push(ProfileRecord {
+                        site_key: site_keys[i].clone(),
+                        taken: profile_rng.gen_bool(truth[i]),
+                        weight: 1.0,
+                    });
+                }
+            }
+            if !records.is_empty() {
+                profile_updates += records.len() as u64;
+                client.profile(records)?;
+            }
+        }
     }
     let elapsed = run_start.elapsed();
 
@@ -168,7 +236,30 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
         },
         predict_chunk: 0,
         predict_chunk_source: "default".to_string(),
+        observed_miss_rate: if profile_updates > 0 {
+            gauge_value(&after.exposition, "esp_ledger_observed_miss_rate")
+                .unwrap_or(f64::NAN)
+        } else {
+            f64::NAN
+        },
+        calibration_ece: if profile_updates > 0 {
+            gauge_value(&after.exposition, "esp_ledger_calibration_ece").unwrap_or(f64::NAN)
+        } else {
+            f64::NAN
+        },
+        profile_updates_per_sec: profile_updates as f64 / elapsed_s,
         server: after,
+    })
+}
+
+/// Pull a single unlabeled sample out of a Prometheus text exposition:
+/// the value on the `NAME VALUE` line for exactly `family` (a longer
+/// family name sharing the prefix does not match).
+pub fn gauge_value(exposition: &str, family: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        line.strip_prefix(family)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
     })
 }
 
@@ -179,6 +270,7 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!("  \"batch\": {},\n", r.cfg.batch));
     s.push_str(&format!("  \"keys\": {},\n", r.cfg.keys));
     s.push_str(&format!("  \"seed\": {},\n", r.cfg.seed));
+    s.push_str(&format!("  \"profile_rate\": {},\n", r.cfg.profile_rate));
     s.push_str(&format!("  \"predictions\": {},\n", r.predictions));
     s.push_str(&format!("  \"elapsed_ms\": {:.3},\n", r.elapsed_ms));
     s.push_str(&format!("  \"throughput_rps\": {:.3},\n", r.throughput_rps));
@@ -197,6 +289,18 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!(
         "  \"predict_chunk_source\": \"{}\",\n",
         r.predict_chunk_source
+    ));
+    s.push_str(&format!(
+        "  \"observed_miss_rate\": {},\n",
+        json_f64(r.observed_miss_rate)
+    ));
+    s.push_str(&format!(
+        "  \"calibration_ece\": {},\n",
+        json_f64(r.calibration_ece)
+    ));
+    s.push_str(&format!(
+        "  \"profile_updates_per_sec\": {:.3},\n",
+        r.profile_updates_per_sec
     ));
     s.push_str("  \"server\": {\n");
     s.push_str(&format!(
@@ -277,6 +381,9 @@ mod tests {
             cache_hit_rate: 0.82,
             predict_chunk: 32,
             predict_chunk_source: "sweep".to_string(),
+            observed_miss_rate: 0.25,
+            calibration_ece: 0.03,
+            profile_updates_per_sec: 1234.5,
             server: StatsSnapshot::default(),
         };
         let json = render_json(&r);
@@ -290,11 +397,63 @@ mod tests {
             "\"cache_hit_rate\"",
             "\"predict_chunk\"",
             "\"predict_chunk_source\"",
+            "\"profile_rate\"",
+            "\"observed_miss_rate\"",
+            "\"calibration_ece\"",
+            "\"profile_updates_per_sec\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert!(json.contains("\"observed_miss_rate\": 0.250000"));
         let line = r.summary_line();
         assert!(line.contains("p90 4095 us"));
         assert!(line.contains("500 requests"));
+    }
+
+    #[test]
+    fn unprofiled_runs_render_null_accuracy() {
+        let r = LoadGenReport {
+            cfg: LoadGenConfig::default(),
+            predictions: 0,
+            elapsed_ms: 0.0,
+            throughput_rps: 0.0,
+            predictions_per_sec: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+            hist_p50_us: 0,
+            hist_p90_us: 0,
+            hist_p99_us: 0,
+            cache_hit_rate: 0.0,
+            predict_chunk: 0,
+            predict_chunk_source: "default".to_string(),
+            observed_miss_rate: f64::NAN,
+            calibration_ece: f64::NAN,
+            profile_updates_per_sec: 0.0,
+            server: StatsSnapshot::default(),
+        };
+        let json = render_json(&r);
+        assert!(json.contains("\"observed_miss_rate\": null"));
+        assert!(json.contains("\"calibration_ece\": null"));
+        assert!(json.contains("\"profile_updates_per_sec\": 0.000"));
+    }
+
+    #[test]
+    fn gauge_value_matches_exact_family_names() {
+        let text = "# TYPE esp_ledger_observed_weight gauge\n\
+                    esp_ledger_observed_weight 12.5\n\
+                    esp_ledger_observed_miss_rate 0.125\n\
+                    esp_ledger_calibration_ece NaN\n";
+        assert_eq!(gauge_value(text, "esp_ledger_observed_weight"), Some(12.5));
+        assert_eq!(
+            gauge_value(text, "esp_ledger_observed_miss_rate"),
+            Some(0.125)
+        );
+        // A prefix of a longer family must not match the longer line.
+        assert_eq!(gauge_value(text, "esp_ledger_observed"), None);
+        assert_eq!(gauge_value(text, "esp_ledger_missing"), None);
+        // Prometheus renders NaN literally; it parses as NaN here.
+        assert!(gauge_value(text, "esp_ledger_calibration_ece")
+            .is_some_and(f64::is_nan));
     }
 }

@@ -114,8 +114,11 @@ impl Metrics {
         }
     }
 
-    /// The full Prometheus text exposition of this server's registry.
+    /// The full Prometheus text exposition of this server's registry. The
+    /// cache-hit-ratio gauge is refreshed first, so every exposition path
+    /// (`STATS`, HTTP `/metrics`, `--metrics-out`) renders current values.
     pub fn render_text(&self) -> String {
+        self.update_cache_hit_ratio();
         self.registry.render_text()
     }
 
@@ -123,7 +126,14 @@ impl Metrics {
     /// atomic; the set is not, which is fine for monitoring). Latency
     /// quantiles summarize the end-to-end `esp_serve_request_us` series.
     pub fn snapshot(&self) -> StatsSnapshot {
-        self.update_cache_hit_ratio();
+        self.snapshot_with(self.render_text())
+    }
+
+    /// [`Metrics::snapshot`] with a caller-supplied exposition string. The
+    /// server passes its *unified* exposition (registry + accuracy ledger)
+    /// here so the STATS opcode and the HTTP `/metrics` endpoint render
+    /// byte-identical text from the same snapshot path.
+    pub fn snapshot_with(&self, exposition: String) -> StatsSnapshot {
         StatsSnapshot {
             connections: self.connections.get(),
             requests: self.requests.get(),
@@ -134,7 +144,7 @@ impl Metrics {
             p50_us: self.request_us.quantile(0.50),
             p99_us: self.request_us.quantile(0.99),
             max_us: self.request_us.max(),
-            exposition: self.render_text(),
+            exposition,
         }
     }
 }

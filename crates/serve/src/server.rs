@@ -19,12 +19,15 @@ use std::time::{Duration, Instant};
 
 use esp_artifact::{AnyArtifact, ModelArtifact, FORMAT_VERSION};
 use esp_core::EspModel;
+use esp_obs::window::{Clock, SlidingWindow, SystemClock};
+use esp_obs::{Ledger, OutcomeRecord};
 use esp_runtime::parallel_map;
 
 use crate::cache::{cache_key, LruCache};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    write_frame, FrameReader, Prediction, Request, Response, ServeError, ServerInfo,
+    write_frame, FrameReader, Prediction, ProfileAck, ProfileRecord, Request, Response,
+    ServeError, ServerInfo,
 };
 
 /// Numeric precision the server predicts at.
@@ -61,6 +64,12 @@ pub struct ServeConfig {
     /// artifact can be quantized down to f32 at load; an f32 artifact
     /// cannot be served at f64 (the information is gone).
     pub precision: Option<Precision>,
+    /// Address for the HTTP telemetry sidecar (`GET /metrics`, `/healthz`,
+    /// `/sitez`); `None` = no HTTP listener.
+    pub http_addr: Option<String>,
+    /// Record served predictions and PROFILE outcomes in the per-site
+    /// accuracy ledger. Off, the ledger costs one atomic load per row.
+    pub ledger: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,30 +79,83 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             predict_chunk: 32,
             precision: None,
+            http_addr: None,
+            ledger: true,
         }
     }
 }
+
+/// Sliding telemetry windows: 60 buckets of 1 s, so `/healthz` reports
+/// rates and quantiles over the last minute.
+const WINDOW_SLOTS: usize = 60;
+const WINDOW_BUCKET_US: u64 = 1_000_000;
+
+/// Observed weights are f64; the windows store integers. Micro-weight
+/// resolution (×1e6) keeps fractional profile weights visible.
+const WEIGHT_SCALE: f64 = 1e6;
 
 /// Cache misses below this count are computed inline; at or above it they
 /// fan out over the worker pool.
 const PARALLEL_BATCH_MIN: usize = 16;
 
-struct Shared {
+pub(crate) struct Shared {
     model: EspModel,
     info: ServerInfo,
     addr: SocketAddr,
     cache: Mutex<LruCache>,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     threads: usize,
     predict_chunk: usize,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
+    /// Per-site accuracy ledger (PROFILE outcomes joined to served
+    /// predictions).
+    pub(crate) ledger: Ledger,
+    /// Clock for the sliding windows; also the uptime epoch.
+    pub(crate) clock: SystemClock,
+    /// Last-minute end-to-end request latency (µs).
+    pub(crate) req_window: SlidingWindow,
+    /// Last-minute observed outcome mass (micro-weights).
+    pub(crate) observed_window: SlidingWindow,
+    /// Last-minute mispredicted mass (micro-weights).
+    pub(crate) mispredict_window: SlidingWindow,
+    /// HTTP sidecar requests served (kept out of the metrics registry so
+    /// scraping does not perturb the byte-identity of `/metrics` vs STATS
+    /// on a quiesced server).
+    pub(crate) http_requests: std::sync::atomic::AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    pub(crate) fn precision_bits(&self) -> u32 {
+        self.model.precision_bits()
+    }
+
+    /// The unified exposition: the metrics registry followed by the
+    /// accuracy-ledger families. The STATS opcode, the in-process
+    /// [`ServerHandle::metrics_text`], and the HTTP `/metrics` endpoint all
+    /// render through here, so the three views are byte-identical on a
+    /// quiesced server.
+    pub(crate) fn exposition(&self) -> String {
+        let mut text = self.metrics.render_text();
+        text.push_str(&self.ledger.render_text());
+        text
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> crate::protocol::StatsSnapshot {
+        self.metrics.snapshot_with(self.exposition())
+    }
 }
 
 /// A running prediction server.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    http: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Start serving `artifact` on `addr` (use port `0` for an ephemeral port;
@@ -167,7 +229,24 @@ fn serve_model(
         threads: cfg.threads,
         predict_chunk: cfg.predict_chunk.max(1),
         stop: AtomicBool::new(false),
+        ledger: Ledger::new(cfg.ledger),
+        clock: SystemClock::new(),
+        req_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
+        observed_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
+        mispredict_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
+        http_requests: std::sync::atomic::AtomicU64::new(0),
     });
+
+    // The HTTP telemetry sidecar binds before the acceptor spawns so a
+    // bad --http-addr fails server startup instead of dying silently on a
+    // background thread.
+    let (http_addr, http) = match &cfg.http_addr {
+        Some(spec) => {
+            let (bound, handle) = crate::http::spawn(spec, Arc::clone(&shared))?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
 
     let accept_shared = Arc::clone(&shared);
     let acceptor = std::thread::spawn(move || {
@@ -190,8 +269,10 @@ fn serve_model(
 
     Ok(ServerHandle {
         addr,
+        http_addr,
         shared,
         acceptor: Some(acceptor),
+        http,
     })
 }
 
@@ -201,16 +282,29 @@ impl ServerHandle {
         self.addr
     }
 
-    /// A snapshot of the server's metrics, read in-process.
-    pub fn metrics(&self) -> crate::protocol::StatsSnapshot {
-        self.shared.metrics.snapshot()
+    /// The HTTP telemetry sidecar's bound address, when one was configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
-    /// The server's Prometheus-style metrics text exposition, read
-    /// in-process. Still available after [`ServerHandle::wait`] returns, so
-    /// a `--metrics-out` file can be written post-shutdown.
+    /// A snapshot of the server's metrics, read in-process. Carries the
+    /// same unified exposition (registry + ledger) the STATS opcode and
+    /// `GET /metrics` serve.
+    pub fn metrics(&self) -> crate::protocol::StatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// The server's Prometheus-style metrics text exposition — registry
+    /// families plus the `esp_ledger_` families — read in-process. Still
+    /// available after [`ServerHandle::wait`] returns, so a
+    /// `--metrics-out` file can be written post-shutdown.
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.render_text()
+        self.shared.exposition()
+    }
+
+    /// A summary of the accuracy ledger, read in-process.
+    pub fn ledger_summary(&self) -> esp_obs::LedgerSummary {
+        self.shared.ledger.summary()
     }
 
     /// Block until the server exits (i.e. until some client sends
@@ -225,6 +319,9 @@ impl ServerHandle {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
     }
 
     /// Stop accepting work, drain connections, and wait for every thread.
@@ -232,18 +329,21 @@ impl ServerHandle {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway loopback connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
+        self.wait();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(a) = self.acceptor.take() {
+        if self.acceptor.is_some() || self.http.is_some() {
             self.shared.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(self.addr);
-            let _ = a.join();
+            if let Some(a) = self.acceptor.take() {
+                let _ = a.join();
+            }
+            if let Some(h) = self.http.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -278,32 +378,79 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
         // between its frame arriving complete and the reply leaving.
         let svc_start = Instant::now();
         shared.metrics.requests.inc();
-        let response = match Request::decode(&payload) {
-            Err(e) => Response::Error(e.to_string()),
-            Ok(Request::Info) => Response::Info(shared.info.clone()),
-            Ok(Request::Stats) => Response::Stats(shared.metrics.snapshot()),
-            Ok(Request::Shutdown) => {
+        // The client's request id (0 = unset) is echoed on the response and
+        // stamped into server spans, so merged client+server traces
+        // correlate request-for-request.
+        let (req_id, response) = match Request::decode_with_id(&payload) {
+            Err(e) => (0, Response::Error(e.to_string())),
+            Ok((id, Request::Info)) => (id, Response::Info(shared.info.clone())),
+            Ok((id, Request::Stats)) => {
+                // A STATS request records its own metrics *before* the
+                // exposition renders, so the reply carries exactly the
+                // registry state a quiesced follow-up `/metrics` scrape
+                // sees — the byte-identity contract. (Its measured latency
+                // therefore excludes the render+write tail; fine for a
+                // monitoring opcode.)
+                record_request(shared, svc_start);
+                let reply = Response::Stats(shared.stats_snapshot());
+                write_frame(&mut writer, &reply.encode_with_id(id))?;
+                continue;
+            }
+            Ok((id, Request::Shutdown)) => {
                 shared.stop.store(true, Ordering::SeqCst);
                 let reply = Response::ShuttingDown;
-                write_frame(&mut writer, &reply.encode())?;
-                shared
-                    .metrics
-                    .record_request_us(svc_start.elapsed().as_micros() as u64);
+                write_frame(&mut writer, &reply.encode_with_id(id))?;
+                record_request(shared, svc_start);
                 // Wake the blocking acceptor so it observes the flag,
                 // drains the other connections, and exits.
                 let _ = TcpStream::connect(shared.addr);
                 return Ok(());
             }
-            Ok(Request::Predict(rows)) => handle_predict(shared, rows),
+            Ok((id, Request::Predict(rows))) => (id, handle_predict(shared, rows, id)),
+            Ok((id, Request::Profile(records))) => (id, handle_profile(shared, records, id)),
         };
-        write_frame(&mut writer, &response.encode())?;
-        shared
-            .metrics
-            .record_request_us(svc_start.elapsed().as_micros() as u64);
+        write_frame(&mut writer, &response.encode_with_id(req_id))?;
+        record_request(shared, svc_start);
     }
 }
 
-fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Response {
+/// Record one request's end-to-end service time into both the cumulative
+/// histogram and the last-minute sliding window.
+fn record_request(shared: &Shared, svc_start: Instant) {
+    let us = svc_start.elapsed().as_micros() as u64;
+    shared.metrics.record_request_us(us);
+    shared.req_window.record(shared.clock.now_us(), us);
+}
+
+/// Apply a PROFILE batch to the accuracy ledger and the last-minute
+/// observed/mispredict windows.
+fn handle_profile(shared: &Shared, records: Vec<ProfileRecord>, req_id: u64) -> Response {
+    let mut sp = esp_obs::span!("serve", "profile_batch", records = records.len());
+    let mut ack = ProfileAck::default();
+    let now_us = shared.clock.now_us();
+    for rec in &records {
+        match shared.ledger.record_outcome(&rec.site_key, rec.taken, rec.weight) {
+            OutcomeRecord::Applied { mispredicted } => {
+                ack.applied += 1;
+                let micro = (rec.weight * WEIGHT_SCALE) as u64;
+                shared.observed_window.record(now_us, micro);
+                if mispredicted {
+                    shared.mispredict_window.record(now_us, micro);
+                }
+            }
+            OutcomeRecord::Unmatched => ack.unmatched += 1,
+            OutcomeRecord::Disabled => {}
+        }
+    }
+    if sp.is_enabled() {
+        sp.arg("req", req_id);
+        sp.arg("applied", ack.applied);
+        sp.arg("unmatched", ack.unmatched);
+    }
+    Response::Profiled(ack)
+}
+
+fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>, req_id: u64) -> Response {
     let start = Instant::now();
     let mut sp = esp_obs::span!("serve", "predict_batch", rows = rows.len());
     let dim = shared.info.dim as usize;
@@ -317,21 +464,22 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
         }
     }
 
-    // Pass 1: resolve cache hits under the lock, remember misses.
+    // Pass 1: resolve cache hits under the lock, remember misses. Every
+    // row's key is kept (not just the misses'): the accuracy ledger records
+    // served predictions for hits too, so repeat traffic keeps its site
+    // attribution.
     let mut probs: Vec<Option<f64>> = vec![None; rows.len()];
     let mut miss_idx: Vec<usize> = Vec::new();
-    let mut keys: Vec<Option<Vec<u8>>> = vec![None; rows.len()];
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
     {
         let mut cache = shared.cache.lock().expect("cache lock");
         for (i, r) in rows.iter().enumerate() {
             let key = cache_key(&r.row, &r.mask);
             match cache.get(&key) {
                 Some(p) => probs[i] = Some(p),
-                None => {
-                    miss_idx.push(i);
-                    keys[i] = Some(key);
-                }
+                None => miss_idx.push(i),
             }
+            keys.push(key);
         }
     }
     let hits = rows.len() - miss_idx.len();
@@ -356,12 +504,22 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
         batch_of(&miss_idx)
     };
 
-    // Pass 3: fill results and publish the fresh entries.
+    // Pass 3: fill results, feed the accuracy ledger, and publish the
+    // fresh cache entries (taking the keys by value last).
+    for (&i, &p) in miss_idx.iter().zip(&computed) {
+        probs[i] = Some(p);
+    }
+    if shared.ledger.enabled() {
+        for (i, key) in keys.iter().enumerate() {
+            shared
+                .ledger
+                .record_served(key, probs[i].expect("every row resolved"));
+        }
+    }
     {
         let mut cache = shared.cache.lock().expect("cache lock");
         for (&i, &p) in miss_idx.iter().zip(&computed) {
-            probs[i] = Some(p);
-            cache.insert(keys[i].take().expect("key saved for miss"), p);
+            cache.insert(std::mem::take(&mut keys[i]), p);
         }
     }
 
@@ -385,6 +543,7 @@ fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>) -> Re
     m.update_cache_hit_ratio();
     m.record_predict_compute_us(start.elapsed().as_micros() as u64);
     if sp.is_enabled() {
+        sp.arg("req", req_id);
         sp.arg("hits", hits);
         sp.arg("misses", miss_idx.len());
     }

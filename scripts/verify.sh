@@ -38,7 +38,9 @@ if [[ "$fast" -eq 0 ]]; then
                sim sim_programs sim_events_total sim_trace_record_ms \
                sim_replay_ms sim_branches_per_sec sim_deterministic \
                analyze analyze_branches_per_sec lint_findings_total \
-               analyze_deterministic; do
+               analyze_deterministic \
+               ledger ledger_rows_per_sec_on ledger_rows_per_sec_off \
+               ledger_overhead_pct ledger_sites; do
         grep -q "\"$key\"" BENCH_pipeline.json \
             || { echo "BENCH_pipeline.json is missing \"$key\"" >&2; exit 1; }
     done
@@ -70,22 +72,72 @@ is intentional, regenerate results/lint_golden.json with esp_lint --json" >&2; e
         || { echo "a statically-decided branch contradicts its execution profile" >&2; exit 1; }
     rm -f lint_oracle.txt
 
-    echo "==> serve smoke (in-process server + load generator, writes BENCH_serve.json)"
+    echo "==> serve smoke (in-process server + profile-replay load, writes BENCH_serve.json)"
     cargo run --release --offline -q -p esp-serve --bin esp-client -- \
-        bench --quick --metrics-out metrics_serve.prom
+        bench --quick --profile-rate 1.0 --metrics-out metrics_serve.prom
     echo "==> BENCH_serve.json:"
     cat BENCH_serve.json
     for key in throughput_rps predictions_per_sec p50_ms p99_ms hist_p90_us cache_hit_rate \
-               predict_chunk predict_chunk_source; do
+               predict_chunk predict_chunk_source \
+               profile_rate observed_miss_rate calibration_ece profile_updates_per_sec; do
         grep -q "\"$key\"" BENCH_serve.json \
             || { echo "BENCH_serve.json is missing \"$key\"" >&2; exit 1; }
     done
+    grep -q '"observed_miss_rate": null' BENCH_serve.json \
+        && { echo "profile replay ran but observed_miss_rate is null" >&2; exit 1; }
     for series in esp_serve_requests_total esp_serve_request_us \
-                  esp_serve_predict_compute_us esp_serve_batch_size; do
+                  esp_serve_predict_compute_us esp_serve_batch_size \
+                  esp_ledger_profile_records_total esp_ledger_observed_miss_rate \
+                  esp_ledger_calibration_ece; do
         grep -q "$series" metrics_serve.prom \
             || { echo "serve exposition is missing $series" >&2; exit 1; }
     done
     rm -f metrics_serve.prom
+
+    echo "==> telemetry sidecar smoke (esp-serve --http-addr, scraped via esp-client get)"
+    ./target/release/esp-serve --synthetic 24,8,7 --addr 127.0.0.1:0 \
+        --http-addr 127.0.0.1:0 2> serve_sidecar.log &
+    serve_pid=$!
+    tcp_addr=""; http_addr=""
+    for _ in $(seq 1 100); do
+        tcp_addr=$(sed -n 's/^esp-serve listening on \([^ ]*\) .*/\1/p' serve_sidecar.log)
+        http_addr=$(sed -n 's|^esp-serve telemetry on http://\([^ ]*\) .*|\1|p' serve_sidecar.log)
+        [[ -n "$tcp_addr" && -n "$http_addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$tcp_addr" && -n "$http_addr" ]] \
+        || { echo "esp-serve did not print its bound addresses:" >&2; \
+             cat serve_sidecar.log >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    ./target/release/esp-client get --addr "$http_addr" --path /metrics > sidecar_metrics.prom
+    for series in esp_serve_requests_total esp_ledger_sites \
+                  esp_ledger_observed_miss_rate esp_ledger_calibration_ece; do
+        grep -q "$series" sidecar_metrics.prom \
+            || { echo "/metrics is missing $series" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    done
+    ./target/release/esp-client get --addr "$http_addr" --path /healthz > sidecar_healthz.json
+    grep -q '"protocol_version": 3' sidecar_healthz.json \
+        || { echo "/healthz is missing protocol_version 3" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    grep -q '"ledger_enabled": true' sidecar_healthz.json \
+        || { echo "/healthz says the default-on ledger is off" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    ./target/release/esp-client get --addr "$http_addr" --path '/sitez?top=5' > sidecar_sitez.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PYEOF'
+import json
+doc = json.load(open("sidecar_sitez.json"))
+assert isinstance(doc.get("sites"), list), "/sitez has no sites array"
+summary = doc.get("summary")
+assert isinstance(summary, dict), "/sitez has no summary object"
+for k in ("sites", "served", "profile_records", "observed_miss_rate", "calibration_ece"):
+    assert k in summary, f"/sitez summary is missing {k!r}"
+print(f"sitez OK: {len(doc['sites'])} hot sites, {summary['served']} served")
+PYEOF
+    else
+        grep -q '"sites": \[' sidecar_sitez.json \
+            || { echo "/sitez is missing the sites array" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    fi
+    ./target/release/esp-client shutdown --addr "$tcp_addr" > /dev/null
+    wait "$serve_pid"
+    rm -f serve_sidecar.log sidecar_metrics.prom sidecar_healthz.json sidecar_sitez.json
 
     echo "==> observability smoke (traced Table 4 subset, writes trace + exposition)"
     cargo run --release --offline -q -p esp-bench --bin repro_tables -- \

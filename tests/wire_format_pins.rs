@@ -16,9 +16,11 @@ fn model_artifact_format_version_is_pinned() {
 
 #[test]
 fn serve_protocol_version_is_pinned() {
+    // v3 added the PROFILE opcode (per-site outcome feedback) and the
+    // echoed u64 request id in the frame header.
     assert_eq!(
         esp_serve::protocol::PROTOCOL_VERSION,
-        2,
+        3,
         "serve wire protocol version changed — update client, server and this pin together"
     );
 }

@@ -514,6 +514,7 @@ fn main() {
         keys: 512,
         seed: 0x1ED6E4,
         profile_rate: 1.0,
+        ..esp_serve::LoadGenConfig::default()
     };
     let mut ledger_rows = [0.0f64; 2]; // [on, off]
     let mut ledger_sites = 0u64;
@@ -522,7 +523,7 @@ fn main() {
         for _ in 0..LEDGER_REPS {
             let scfg = esp_serve::ServeConfig {
                 ledger: enabled,
-                threads: 1,
+                shards: 1,
                 ..esp_serve::ServeConfig::default()
             };
             let handle = esp_serve::serve(&ledger_artifact, "127.0.0.1:0", &scfg)

@@ -2,32 +2,41 @@
 //! and manage a model registry.
 //!
 //! ```text
-//! esp-client info      --addr HOST:PORT
+//! esp-client info      --addr HOST:PORT [--model NAME[@VERSION]]
 //! esp-client stats     --addr HOST:PORT
 //! esp-client shutdown  --addr HOST:PORT
 //! esp-client get       --addr HOST:PORT [--path /metrics]
 //! esp-client bench     [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]
 //!                      [--requests N] [--batch N] [--keys N] [--seed S]
-//!                      [--out PATH] [--quick] [--threads N] [--cache N]
+//!                      [--connections N] [--open-loop auto|R1,R2,…] [--no-open-loop]
+//!                      [--out PATH] [--quick] [--shards N] [--cache N]
 //!                      [--predict-chunk N] [--profile-rate P]
 //!                      [--trace-out FILE] [--metrics-out FILE]
 //! esp-client merge-traces --out FILE LABEL=PATH [LABEL=PATH ...]
-//! esp-client registry  (list | inspect --name M [--model-version V] | gc --name M --keep K)
-//!                      --dir DIR
+//! esp-client registry  (list | inspect --name M [--model-version V]
+//!                       | publish --name M (--from PATH | --synthetic DIM,HIDDEN,SEED)
+//!                       | gc --name M --keep K) --dir DIR
 //! ```
 //!
 //! `bench` without `--addr` spawns an in-process server on an ephemeral
 //! loopback port (from `--model`, or a synthetic artifact by default), runs
 //! the deterministic load generator against it, shuts it down, writes the
 //! report to `--out` (default `BENCH_serve.json`), and prints a one-line
-//! summary with the histogram's p50/p90/p99. Unless `--predict-chunk`
+//! summary with the histogram's p50/p90/p99. The closed loop drives
+//! `--connections` concurrent clients (default 2); unless `--no-open-loop`
+//! is given, an open-loop arrival-rate sweep follows — `--open-loop auto`
+//! (the default) derives targets from the measured closed-loop throughput,
+//! a comma list pins them — and the latency-under-load curve lands in the
+//! JSON as `open_loop`. Unless `--predict-chunk`
 //! pins it, the in-process bench first sweeps the server's miss fan-out
 //! chunk over a few candidates (uncached, so every row computes) and runs
 //! the main measurement with the fastest; the chosen value and its origin
 //! land in the JSON as `predict_chunk` / `predict_chunk_source`. `--quick`
-//! shrinks the run for CI. `--trace-out` records client-side spans into a
-//! Perfetto-loadable trace; `--metrics-out` saves the server's metrics text
-//! exposition (as carried by the final `STATS` reply).
+//! shrinks the run for CI. `--shards` sets the in-process server's shard
+//! count (`--threads` is accepted as an alias). `--trace-out` records
+//! client-side spans into a Perfetto-loadable trace; `--metrics-out` saves
+//! the server's metrics text exposition (as carried by the final `STATS`
+//! reply).
 //!
 //! `bench --profile-rate P` closes the accuracy loop: that fraction of the
 //! predicted rows is replayed back as `PROFILE` outcomes drawn from a
@@ -75,9 +84,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("info") => {
-            let i = connect(&args).info().unwrap_or_else(|e| fail(e.to_string()));
+            let selector = flag_value(&args, "--model").unwrap_or("");
+            let i = connect(&args)
+                .info_model(selector)
+                .unwrap_or_else(|e| fail(e.to_string()));
+            let routed = if i.model_name.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}@{}]", i.model_name, i.model_version)
+            };
             println!(
-                "model `{}`: {} inputs, {} hidden units, artifact format v{}",
+                "model `{}`{routed}: {} inputs, {} hidden units, artifact format v{}",
                 i.corpus_id, i.dim, i.hidden, i.format_version
             );
         }
@@ -102,15 +119,18 @@ fn main() {
         Some("registry") => registry(&args),
         _ => {
             eprintln!(
-                "usage: esp-client (info|stats|shutdown) --addr HOST:PORT\n\
+                "usage: esp-client (info [--model NAME[@V]]|stats|shutdown) --addr HOST:PORT\n\
                  \x20      esp-client get --addr HOST:PORT [--path /metrics]\n\
                  \x20      esp-client bench [--addr HOST:PORT | --model PATH | --synthetic DIM,HIDDEN,SEED]\n\
                  \x20                       [--requests N] [--batch N] [--keys N] [--seed S]\n\
-                 \x20                       [--out PATH] [--quick] [--threads N] [--cache N]\n\
+                 \x20                       [--connections N] [--open-loop auto|R1,R2,…] [--no-open-loop]\n\
+                 \x20                       [--out PATH] [--quick] [--shards N] [--cache N]\n\
                  \x20                       [--predict-chunk N] [--profile-rate P]\n\
                  \x20                       [--trace-out FILE] [--metrics-out FILE]\n\
                  \x20      esp-client merge-traces --out FILE LABEL=PATH [LABEL=PATH ...]\n\
-                 \x20      esp-client registry (list | inspect --name M [--model-version V] | gc --name M --keep K) --dir DIR"
+                 \x20      esp-client registry (list | inspect --name M [--model-version V]\n\
+                 \x20                           | publish --name M (--from PATH | --synthetic DIM,HIDDEN,SEED)\n\
+                 \x20                           | gc --name M --keep K) --dir DIR"
             );
             std::process::exit(2);
         }
@@ -202,7 +222,23 @@ fn bench(args: &[String]) {
         seed: flag_value(args, "--seed").map_or(defaults.seed, |v| parse(v, "--seed")),
         profile_rate: flag_value(args, "--profile-rate")
             .map_or(defaults.profile_rate, |v| parse(v, "--profile-rate")),
+        connections: flag_value(args, "--connections").map_or(2, |v| parse(v, "--connections")),
+        open_loop: if args.iter().any(|a| a == "--no-open-loop") {
+            None
+        } else {
+            match flag_value(args, "--open-loop") {
+                None | Some("auto") => Some(Vec::new()),
+                Some(list) => Some(
+                    list.split(',')
+                        .map(|v| parse(v.trim(), "--open-loop"))
+                        .collect(),
+                ),
+            }
+        },
     };
+    if cfg.connections == 0 {
+        fail("--connections must be at least 1".into());
+    }
     if !(0.0..=1.0).contains(&cfg.profile_rate) {
         fail(format!(
             "--profile-rate must be in [0, 1], got {}",
@@ -244,7 +280,9 @@ fn bench(args: &[String]) {
                 }
             };
             let mut scfg = ServeConfig {
-                threads: flag_value(args, "--threads").map_or(0, |v| parse(v, "--threads")),
+                shards: flag_value(args, "--shards")
+                    .or_else(|| flag_value(args, "--threads"))
+                    .map_or(0, |v| parse(v, "--shards")),
                 cache_capacity: flag_value(args, "--cache").map_or(4096, |v| parse(v, "--cache")),
                 ..ServeConfig::default()
             };
@@ -265,8 +303,8 @@ fn bench(args: &[String]) {
     };
 
     eprintln!(
-        "load: {} requests x {} rows over {} distinct keys (seed {})",
-        cfg.requests, cfg.batch, cfg.keys, cfg.seed
+        "load: {} requests x {} rows over {} distinct keys, {} connection(s) (seed {})",
+        cfg.requests, cfg.batch, cfg.keys, cfg.connections, cfg.seed
     );
     let mut report =
         loadgen::run(&addr, dim, &cfg).unwrap_or_else(|e| fail(format!("bench: {e}")));
@@ -290,6 +328,12 @@ fn bench(args: &[String]) {
         }
     }
     println!("{}", report.summary_line());
+    for p in &report.open_loop {
+        println!(
+            "open loop: target {:.0} rps -> achieved {:.0} rps, p50 {:.2} ms, p99 {:.2} ms",
+            p.rps_target, p.achieved_rps, p.p50_ms, p.p99_ms
+        );
+    }
     if cfg.profile_rate > 0.0 {
         println!(
             "accuracy loop: observed miss rate {:.4}, calibration ece {:.4}, {:.0} profile updates/s",
@@ -317,6 +361,8 @@ fn sweep_chunk(
         keys: 4096,
         seed: 0xC4A17,
         profile_rate: 0.0,
+        connections: 1,   // the sweep measures the fan-out path, not concurrency
+        open_loop: None,
     };
     let mut best = (CANDIDATES[0], 0.0f64);
     for &candidate in &CANDIDATES {
@@ -384,6 +430,28 @@ fn registry(args: &[String]) {
             println!("  rates:    {}", if i.has_rates { "present" } else { "absent" });
             println!("  size:     {} bytes", i.file_len);
         }
+        Some("publish") => {
+            let name = flag_value(args, "--name")
+                .unwrap_or_else(|| fail("publish needs --name M".into()));
+            let artifact = match (flag_value(args, "--from"), flag_value(args, "--synthetic")) {
+                (Some(path), None) => ModelArtifact::load(Path::new(path))
+                    .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}"))),
+                (None, Some(spec)) => {
+                    let parts: Vec<&str> = spec.split(',').collect();
+                    if parts.len() != 3 {
+                        fail(format!("--synthetic takes DIM,HIDDEN,SEED, got {spec:?}"));
+                    }
+                    ModelArtifact::synthetic(
+                        parse(parts[0], "--synthetic DIM"),
+                        parse(parts[1], "--synthetic HIDDEN"),
+                        parse(parts[2], "--synthetic SEED"),
+                    )
+                }
+                _ => fail("publish needs exactly one of --from PATH | --synthetic DIM,HIDDEN,SEED".into()),
+            };
+            let v = reg.publish(name, &artifact).unwrap_or_else(|e| fail(e.to_string()));
+            println!("published {name} v{v} to {dir}");
+        }
         Some("gc") => {
             let name =
                 flag_value(args, "--name").unwrap_or_else(|| fail("gc needs --name M".into()));
@@ -396,6 +464,6 @@ fn registry(args: &[String]) {
             }
             println!("{} version(s) removed", removed.len());
         }
-        _ => fail("registry subcommand must be list | inspect | gc".into()),
+        _ => fail("registry subcommand must be list | inspect | publish | gc".into()),
     }
 }

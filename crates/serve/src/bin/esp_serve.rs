@@ -1,9 +1,9 @@
-//! `esp-serve` — serve a trained `.espm` model over TCP.
+//! `esp-serve` — serve trained `.espm` models over TCP.
 //!
 //! ```text
-//! esp-serve --model PATH            [--addr HOST:PORT] [--threads N] [--cache N]
-//! esp-serve --registry DIR --name M [--model-version V] [--addr …] …
-//! esp-serve --synthetic DIM,HIDDEN,SEED [--addr …] …
+//! esp-serve --model PATH                 [--addr HOST:PORT] [--shards N] [--cache N]
+//! esp-serve --registry DIR --name M[@V][,M2[@V2]…] [--reload-watch MS] [--addr …] …
+//! esp-serve --synthetic DIM,HIDDEN,SEED  [--addr …] …
 //! ```
 //!
 //! Exactly one model source is required. Both artifact kinds load: f64
@@ -11,11 +11,20 @@
 //! artifact's native precision — an f64 artifact is quantized at load when
 //! `f32` is asked for; asking an f32 artifact for `f64` is an error.
 //! `--addr` defaults to `127.0.0.1:7871`; port `0` picks an ephemeral port
-//! (the bound address is printed either way). `--threads 0` (default) uses
-//! one worker per core for large batches; `--cache` is the LRU capacity in
-//! entries (`0` disables); `--predict-chunk` is the rows-per-worker chunk
-//! for batch fan-out (default 32). The process runs until a client sends
-//! `SHUTDOWN` (see `esp-client`).
+//! (the bound address is printed either way). `--shards 0` (default) runs
+//! one shard worker per core, each owning its slice of the LRU cache
+//! (`--threads` is accepted as an alias); `--cache` is the total LRU
+//! capacity in entries, split across shards (`0` disables);
+//! `--predict-chunk` is the rows-per-batch chunk a shard computes misses
+//! in (default 32). The process runs until a client sends `SHUTDOWN` (see
+//! `esp-client`).
+//!
+//! The registry form serves every listed name at once (clients pick with
+//! the protocol's model selector; the first name is the default). A bare
+//! name serves its newest version and `NAME@V` pins one.
+//! `--reload-watch MS` polls the registry at that interval and atomically
+//! hot-swaps any unpinned name whose newest version advanced — in-flight
+//! requests finish on the model they resolved; zero requests drop.
 //!
 //! Observability: `--trace-out FILE` enables span tracing and writes a
 //! Perfetto-loadable trace on shutdown; `--metrics-out FILE` writes the
@@ -27,7 +36,7 @@
 //! `PROFILE` opcode (it is on by default).
 
 use esp_artifact::{AnyArtifact, ModelArtifact, Registry};
-use esp_serve::{serve_any, Precision, ServeConfig};
+use esp_serve::{serve_any, serve_registry, Precision, ServeConfig};
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -43,29 +52,16 @@ fn parse<T: std::str::FromStr>(value: &str, what: &str) -> T {
     })
 }
 
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 fn load_artifact(args: &[String]) -> AnyArtifact {
-    let fail = |msg: String| -> ! {
-        eprintln!("{msg}");
-        std::process::exit(2);
-    };
-    match (
-        flag_value(args, "--model"),
-        flag_value(args, "--registry"),
-        flag_value(args, "--synthetic"),
-    ) {
-        (Some(path), None, None) => AnyArtifact::load(std::path::Path::new(path))
+    match (flag_value(args, "--model"), flag_value(args, "--synthetic")) {
+        (Some(path), None) => AnyArtifact::load(std::path::Path::new(path))
             .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}"))),
-        (None, Some(dir), None) => {
-            let name = flag_value(args, "--name")
-                .unwrap_or_else(|| fail("--registry needs --name".into()));
-            let version = flag_value(args, "--model-version").map(|v| parse(v, "--model-version"));
-            let (v, artifact) = Registry::open(dir)
-                .load_any(name, version)
-                .unwrap_or_else(|e| fail(format!("cannot load {name} from {dir}: {e}")));
-            eprintln!("loaded {name} v{v} from {dir}");
-            artifact
-        }
-        (None, None, Some(spec)) => {
+        (None, Some(spec)) => {
             let parts: Vec<&str> = spec.split(',').collect();
             if parts.len() != 3 {
                 fail(format!("--synthetic takes DIM,HIDDEN,SEED, got {spec:?}"));
@@ -76,17 +72,44 @@ fn load_artifact(args: &[String]) -> AnyArtifact {
                 parse(parts[2], "--synthetic SEED"),
             ))
         }
-        _ => fail("pick exactly one of --model PATH | --registry DIR --name M | --synthetic DIM,HIDDEN,SEED".into()),
+        _ => fail(
+            "pick exactly one of --model PATH | --registry DIR --name M[@V][,…] | \
+             --synthetic DIM,HIDDEN,SEED"
+                .into(),
+        ),
     }
+}
+
+/// Parse `--name M[@V][,M2[@V2]…]`: each entry is a registry name with an
+/// optional pinned version; `--model-version V` pins every entry that has
+/// no `@V` of its own (backward-compatible with the single-name form).
+fn parse_models(args: &[String]) -> Vec<(String, Option<u32>)> {
+    let names = flag_value(args, "--name")
+        .unwrap_or_else(|| fail("--registry needs --name M[@V][,M2[@V2]…]".into()));
+    let global_pin: Option<u32> =
+        flag_value(args, "--model-version").map(|v| parse(v, "--model-version"));
+    names
+        .split(',')
+        .map(|spec| {
+            let spec = spec.trim();
+            if spec.is_empty() {
+                fail(format!("--name has an empty entry in {names:?}"));
+            }
+            match spec.split_once('@') {
+                Some((n, v)) => (n.to_string(), Some(parse(v, "--name NAME@VERSION"))),
+                None => (spec.to_string(), global_pin),
+            }
+        })
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: esp-serve (--model PATH | --registry DIR --name M [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
-             \x20                [--addr HOST:PORT] [--threads N] [--cache N]\n\
-             \x20                [--precision f32|f64] [--predict-chunk N]\n\
+            "usage: esp-serve (--model PATH | --registry DIR --name M[@V][,M2[@V2]…] [--model-version V] | --synthetic DIM,HIDDEN,SEED)\n\
+             \x20                [--addr HOST:PORT] [--shards N] [--cache N]\n\
+             \x20                [--reload-watch MS] [--precision f32|f64] [--predict-chunk N]\n\
              \x20                [--http-addr HOST:PORT] [--no-ledger]\n\
              \x20                [--trace-out FILE] [--metrics-out FILE]"
         );
@@ -97,7 +120,6 @@ fn main() {
     if trace_out.is_some() {
         esp_obs::trace::enable();
     }
-    let artifact = load_artifact(&args);
     let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7871");
     let precision = flag_value(&args, "--precision").map(|v| {
         v.parse::<Precision>().unwrap_or_else(|e| {
@@ -106,37 +128,88 @@ fn main() {
         })
     });
     let cfg = ServeConfig {
-        threads: flag_value(&args, "--threads").map_or(0, |v| parse(v, "--threads")),
+        shards: flag_value(&args, "--shards")
+            .or_else(|| flag_value(&args, "--threads"))
+            .map_or(0, |v| parse(v, "--shards")),
         cache_capacity: flag_value(&args, "--cache").map_or(4096, |v| parse(v, "--cache")),
         predict_chunk: flag_value(&args, "--predict-chunk")
             .map_or(32, |v| parse(v, "--predict-chunk")),
         precision,
         http_addr: flag_value(&args, "--http-addr").map(String::from),
         ledger: !args.iter().any(|a| a == "--no-ledger"),
+        reload_watch_ms: flag_value(&args, "--reload-watch")
+            .map(|v| parse(v, "--reload-watch")),
     };
 
-    let mut handle = match serve_any(&artifact, addr, &cfg) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("cannot serve on {addr}: {e}");
-            std::process::exit(1);
+    let mut handle = if let Some(dir) = flag_value(&args, "--registry") {
+        if flag_value(&args, "--model").is_some() || flag_value(&args, "--synthetic").is_some() {
+            fail("--registry cannot be combined with --model or --synthetic".into());
         }
+        let models = parse_models(&args);
+        let registry = Registry::open(dir);
+        let h = match serve_registry(&registry, &models, addr, &cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot serve on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let served: Vec<String> = models
+            .iter()
+            .map(|(name, pin)| match pin {
+                Some(v) => format!("{name}@{v} (pinned)"),
+                None => {
+                    let v = registry.versions(name).ok().and_then(|vs| vs.last().copied());
+                    match v {
+                        Some(v) => format!("{name}@{v}"),
+                        None => name.clone(),
+                    }
+                }
+            })
+            .collect();
+        eprintln!(
+            "esp-serve listening on {} — registry {dir}, serving {} (default `{}`); \
+             stop with `esp-client shutdown --addr {}`",
+            h.addr(),
+            served.join(", "),
+            models[0].0,
+            h.addr(),
+        );
+        if let Some(ms) = cfg.reload_watch_ms {
+            eprintln!(
+                "hot reload: polling {dir} every {ms} ms for newer versions of unpinned names"
+            );
+        }
+        h
+    } else {
+        if cfg.reload_watch_ms.is_some() {
+            eprintln!("note: --reload-watch only applies with --registry; ignoring");
+        }
+        let artifact = load_artifact(&args);
+        let h = match serve_any(&artifact, addr, &cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot serve on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let served_bits = match (artifact.precision_bits(), precision) {
+            (_, Some(Precision::F32)) | (32, None) => 32,
+            _ => 64,
+        };
+        eprintln!(
+            "esp-serve listening on {} — model `{}` ({} inputs, {} hidden, format v{}, f{} weights); \
+             stop with `esp-client shutdown --addr {}`",
+            h.addr(),
+            artifact.meta().corpus_id,
+            artifact.dim(),
+            artifact.hidden(),
+            esp_artifact::FORMAT_VERSION,
+            served_bits,
+            h.addr(),
+        );
+        h
     };
-    let served_bits = match (artifact.precision_bits(), precision) {
-        (_, Some(Precision::F32)) | (32, None) => 32,
-        _ => 64,
-    };
-    eprintln!(
-        "esp-serve listening on {} — model `{}` ({} inputs, {} hidden, format v{}, f{} weights); \
-         stop with `esp-client shutdown --addr {}`",
-        handle.addr(),
-        artifact.meta().corpus_id,
-        artifact.dim(),
-        artifact.hidden(),
-        esp_artifact::FORMAT_VERSION,
-        served_bits,
-        handle.addr(),
-    );
     if let Some(http) = handle.http_addr() {
         eprintln!("esp-serve telemetry on http://{http} — /metrics /healthz /sitez");
     }

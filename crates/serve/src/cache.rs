@@ -7,32 +7,67 @@
 //! exact wire payload), so two requests hit the same entry iff the model
 //! would compute the same probability.
 //!
-//! Implementation: a `HashMap` from key to `(value, recency stamp)` plus a
-//! `BTreeMap` from stamp to key, giving `O(log n)` touch and exact
-//! least-recently-used eviction with std-only containers.
+//! Implementation: a `HashMap` from key to slab index plus an index-linked
+//! list threaded through the slab, giving `O(1)` lookup, touch, insert and
+//! exact least-recently-used eviction with std-only containers. Evicted
+//! slots go on a free list and their key buffers are reused by the next
+//! insert, so a warmed cache at capacity stops allocating for evictions.
+//! Hot-path lookups take a borrowed `&[u8]` key — pair with
+//! [`cache_key_into`] and a caller-owned scratch buffer to make the whole
+//! probe path allocation-free.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Build the cache key for one request row: the raw IEEE-754 bits of every
 /// feature followed by the mask bytes.
 pub fn cache_key(row: &[f64], mask: &[bool]) -> Vec<u8> {
     let mut key = Vec::with_capacity(row.len() * 8 + mask.len());
-    for &x in row {
-        key.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-    for &m in mask {
-        key.push(m as u8);
-    }
+    cache_key_into(&mut key, row, mask);
     key
 }
 
+/// Write the cache key for one request row into a caller-owned buffer,
+/// clearing it first. Reusing one buffer across rows keeps the hot lookup
+/// path free of allocation (the buffer grows once to the row size and is
+/// then recycled).
+pub fn cache_key_into(buf: &mut Vec<u8>, row: &[f64], mask: &[bool]) {
+    buf.clear();
+    buf.reserve(row.len() * 8 + mask.len());
+    for &x in row {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    for &m in mask {
+        buf.push(m as u8);
+    }
+}
+
+/// Sentinel slab index meaning "no link".
+const NIL: usize = usize::MAX;
+
+/// One slab slot: a key/value pair threaded into the recency list.
+#[derive(Debug)]
+struct Slot {
+    key: Vec<u8>,
+    value: f64,
+    /// Towards more-recently-used.
+    prev: usize,
+    /// Towards less-recently-used.
+    next: usize,
+}
+
 /// Exact LRU cache from feature-vector keys to taken-probabilities.
+///
+/// All operations are `O(1)`: the recency order is an index-linked list
+/// over a slab of slots, with `head` the most-recently-used entry and
+/// `tail` the eviction candidate.
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<Vec<u8>, (f64, u64)>,
-    recency: BTreeMap<u64, Vec<u8>>,
-    tick: u64,
+    map: HashMap<Vec<u8>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
 }
 
 impl LruCache {
@@ -41,8 +76,10 @@ impl LruCache {
         LruCache {
             capacity,
             map: HashMap::new(),
-            recency: BTreeMap::new(),
-            tick: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 
@@ -56,41 +93,87 @@ impl LruCache {
         self.map.is_empty()
     }
 
-    /// Look up a key, marking it most-recently-used on a hit.
+    /// Maximum number of entries this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a key, marking it most-recently-used on a hit. Allocates
+    /// nothing: the key is borrowed and the touch relinks slab indices.
     pub fn get(&mut self, key: &[u8]) -> Option<f64> {
-        let tick = self.next_tick();
-        let (value, stamp) = self.map.get_mut(key)?;
-        let old = std::mem::replace(stamp, tick);
-        let moved = self.recency.remove(&old).expect("stamp tracked");
-        self.recency.insert(tick, moved);
-        Some(*value)
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slots[idx].value)
     }
 
     /// Insert (or refresh) a key, evicting the least-recently-used entry
-    /// when full. A no-op when the cache is disabled.
-    pub fn insert(&mut self, key: Vec<u8>, value: f64) {
+    /// when full. A no-op when the cache is disabled. Takes the key by
+    /// slice: a refresh or an eviction-reusing insert copies into an
+    /// existing buffer instead of allocating.
+    pub fn insert(&mut self, key: &[u8], value: f64) {
         if self.capacity == 0 {
             return;
         }
-        let tick = self.next_tick();
-        if let Some((v, stamp)) = self.map.get_mut(&key) {
-            *v = value;
-            let old = std::mem::replace(stamp, tick);
-            let moved = self.recency.remove(&old).expect("stamp tracked");
-            self.recency.insert(tick, moved);
+        if let Some(&idx) = self.map.get(key) {
+            self.slots[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
             return;
         }
         if self.map.len() >= self.capacity {
-            let (_, oldest) = self.recency.pop_first().expect("cache non-empty");
-            self.map.remove(&oldest);
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
         }
-        self.map.insert(key.clone(), (value, tick));
-        self.recency.insert(tick, key);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx];
+                slot.key.clear();
+                slot.key.extend_from_slice(key);
+                slot.value = value;
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.to_vec(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(self.slots[idx].key.clone(), idx);
+        self.push_front(idx);
     }
 
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+    /// Detach `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    /// Link `idx` in as most-recently-used.
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slots[h].prev = idx,
+        }
+        self.head = idx;
     }
 }
 
@@ -106,7 +189,7 @@ mod tests {
     fn hit_miss_and_value_identity() {
         let mut c = LruCache::new(4);
         assert!(c.get(&key(1)).is_none());
-        c.insert(key(1), 0.25);
+        c.insert(&key(1), 0.25);
         assert_eq!(c.get(&key(1)), Some(0.25));
         assert_eq!(c.len(), 1);
     }
@@ -114,10 +197,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert(key(1), 0.1);
-        c.insert(key(2), 0.2);
+        c.insert(&key(1), 0.1);
+        c.insert(&key(2), 0.2);
         assert_eq!(c.get(&key(1)), Some(0.1)); // touch 1 → 2 is now LRU
-        c.insert(key(3), 0.3);
+        c.insert(&key(3), 0.3);
         assert!(c.get(&key(2)).is_none(), "2 should have been evicted");
         assert_eq!(c.get(&key(1)), Some(0.1));
         assert_eq!(c.get(&key(3)), Some(0.3));
@@ -127,8 +210,8 @@ mod tests {
     #[test]
     fn reinsert_refreshes_value_without_growth() {
         let mut c = LruCache::new(2);
-        c.insert(key(1), 0.1);
-        c.insert(key(1), 0.9);
+        c.insert(&key(1), 0.1);
+        c.insert(&key(1), 0.9);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&key(1)), Some(0.9));
     }
@@ -136,7 +219,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = LruCache::new(0);
-        c.insert(key(1), 0.1);
+        c.insert(&key(1), 0.1);
         assert!(c.is_empty());
         assert!(c.get(&key(1)).is_none());
     }
@@ -150,5 +233,62 @@ mod tests {
         let n1 = f64::from_bits(0x7FF8_0000_0000_0001);
         let n2 = f64::from_bits(0x7FF8_0000_0000_0002);
         assert_ne!(cache_key(&[n1], &[true]), cache_key(&[n2], &[true]));
+    }
+
+    #[test]
+    fn cache_key_into_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        cache_key_into(&mut buf, &[1.0, 2.0], &[true, false]);
+        assert_eq!(buf, cache_key(&[1.0, 2.0], &[true, false]));
+        let cap = buf.capacity();
+        cache_key_into(&mut buf, &[3.0], &[true]);
+        assert_eq!(buf, cache_key(&[3.0], &[true]));
+        assert_eq!(buf.capacity(), cap, "smaller key must not reallocate");
+    }
+
+    #[test]
+    fn slab_stays_bounded_under_churn() {
+        // A capacity-2 cache driven through hundreds of distinct keys must
+        // recycle evicted slots rather than growing the slab.
+        let mut c = LruCache::new(2);
+        for i in 0..=255u8 {
+            c.insert(&key(i), i as f64);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.slots.len() <= 3, "slab grew: {} slots", c.slots.len());
+        assert_eq!(c.get(&key(255)), Some(255.0));
+        assert_eq!(c.get(&key(254)), Some(254.0));
+        assert!(c.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn recency_order_survives_interleaved_ops() {
+        // Exhaustive-ish interleaving against a naive reference model.
+        let mut c = LruCache::new(3);
+        let mut reference: Vec<(Vec<u8>, f64)> = Vec::new(); // MRU first
+        let mut state = 0x1234_5678u64;
+        for step in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = key((state >> 33) as u8 % 8);
+            if step % 3 == 0 {
+                let v = step as f64;
+                c.insert(&k, v);
+                reference.retain(|(rk, _)| rk != &k);
+                reference.insert(0, (k, v));
+                reference.truncate(3);
+            } else {
+                let got = c.get(&k);
+                let want = reference.iter().position(|(rk, _)| rk == &k);
+                match want {
+                    Some(pos) => {
+                        let entry = reference.remove(pos);
+                        assert_eq!(got, Some(entry.1), "step {step}");
+                        reference.insert(0, entry);
+                    }
+                    None => assert_eq!(got, None, "step {step}"),
+                }
+            }
+            assert_eq!(c.len(), reference.len(), "step {step}");
+        }
     }
 }

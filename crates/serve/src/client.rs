@@ -60,11 +60,28 @@ impl Client {
         }
     }
 
-    /// Predict a batch of raw encoded rows; results come back in order. A
-    /// ragged batch (rows or masks of differing lengths) fails client-side
-    /// with [`ServeError::Protocol`] before anything is sent.
+    /// Predict a batch of raw encoded rows against the server's default
+    /// model; results come back in order. A ragged batch (rows or masks of
+    /// differing lengths) fails client-side with [`ServeError::Protocol`]
+    /// before anything is sent.
     pub fn predict(&mut self, rows: Vec<PredictRow>) -> Result<Vec<Prediction>, ServeError> {
-        match self.round_trip(&Request::Predict(rows))? {
+        self.predict_model("", rows)
+    }
+
+    /// [`Client::predict`] against a selected model: `""` is the server's
+    /// default, `"name"` the newest loaded version of that registry name,
+    /// `"name@version"` one exact version. An unknown selector comes back
+    /// as [`ServeError::Remote`].
+    pub fn predict_model(
+        &mut self,
+        model: &str,
+        rows: Vec<PredictRow>,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        let req = Request::Predict {
+            model: model.to_string(),
+            rows,
+        };
+        match self.round_trip(&req)? {
             Response::Predictions(ps) => Ok(ps),
             other => Err(ServeError::Protocol(format!(
                 "expected predictions, got {other:?}"
@@ -92,9 +109,19 @@ impl Client {
         }
     }
 
-    /// Fetch model facts (dimensionality, provenance).
+    /// Fetch model facts (dimensionality, provenance) for the server's
+    /// default model.
     pub fn info(&mut self) -> Result<ServerInfo, ServeError> {
-        match self.round_trip(&Request::Info)? {
+        self.info_model("")
+    }
+
+    /// [`Client::info`] for a selected model (`""`, `"name"`, or
+    /// `"name@version"`).
+    pub fn info_model(&mut self, model: &str) -> Result<ServerInfo, ServeError> {
+        let req = Request::Info {
+            model: model.to_string(),
+        };
+        match self.round_trip(&req)? {
             Response::Info(i) => Ok(i),
             other => Err(ServeError::Protocol(format!("expected info, got {other:?}"))),
         }

@@ -190,11 +190,46 @@ fn healthz_json(shared: &Shared) -> String {
     } else {
         0.0
     };
+    let models: Vec<String> = shared
+        .models
+        .list()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"name\": \"{}\", \"version\": {}, \"corpus\": \"{}\"}}",
+                escape(&e.info.model_name),
+                e.info.model_version,
+                escape(&e.info.corpus_id),
+            )
+        })
+        .collect();
+    let shards: Vec<String> = shared
+        .shard_stats
+        .iter()
+        .map(|st| {
+            let hits = st.hits.load(Ordering::Relaxed);
+            let misses = st.misses.load(Ordering::Relaxed);
+            let total = hits + misses;
+            let ratio = if total > 0 {
+                hits as f64 / total as f64
+            } else {
+                0.0
+            };
+            format!(
+                "{{\"queue_depth\": {}, \"cache_hit_ratio\": {:.6}, \"cache_entries\": {}}}",
+                st.queue_depth.load(Ordering::Relaxed),
+                ratio,
+                st.entries.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"model\": \"{}\",\n  \"dim\": {},\n  \"hidden\": {},\n  \
          \"format_version\": {},\n  \"protocol_version\": {},\n  \
          \"precision_bits\": {},\n  \"uptime_s\": {:.3},\n  \
          \"ledger_enabled\": {},\n  \"http_requests\": {},\n  \
+         \"shards\": {},\n  \"reloads_total\": {},\n  \
+         \"models\": [{}],\n  \"shard_health\": [{}],\n  \
          \"window\": {{\"seconds\": {}, \"rps\": {:.3}, \"p50_us\": {}, \
          \"p99_us\": {}, \"mispredict_rate\": {}}}\n}}\n",
         escape(&info.corpus_id),
@@ -206,6 +241,10 @@ fn healthz_json(shared: &Shared) -> String {
         now_us as f64 / 1e6,
         shared.ledger.enabled(),
         shared.http_requests.load(Ordering::Relaxed),
+        shared.shard_stats.len(),
+        shared.metrics.reloads.get(),
+        models.join(", "),
+        shards.join(", "),
         req.window_s,
         req.rate_per_sec,
         req.p50,

@@ -2,21 +2,38 @@
 //! predict batches drawn from a fixed key pool, measures exact client-side
 //! latency quantiles, and writes `BENCH_serve.json`.
 //!
-//! The *request sequence* is a pure function of the seed (PCG32 all the way
-//! down), so every run asks for the same rows in the same order; with one
-//! connection the server processes them in order too, making the reported
-//! cache hit rate reproducible. Timings, of course, vary with the machine —
-//! that is what the file is for.
+//! The *request content* is a pure function of the seed (PCG32 all the way
+//! down): every work item — which pool rows a batch carries and which
+//! outcomes are profiled back — is precomputed before the clock starts, so
+//! every run asks for the same rows regardless of how many connections
+//! race to claim them. With one connection the server also processes them
+//! in order, making the reported cache hit rate exactly reproducible; with
+//! several, only the claim order (and thus hit/miss attribution at the
+//! margin) varies. Timings, of course, vary with the machine — that is
+//! what the file is for.
+//!
+//! Two load shapes run back to back:
+//!
+//! - **Closed loop** — `connections` clients each keep exactly one request
+//!   in flight, claiming precomputed items from a shared counter. This
+//!   measures service latency and peak sustainable throughput.
+//! - **Open loop** (optional) — requests *arrive* on a fixed schedule
+//!   (`t_i = i / rate`) whether or not earlier ones finished, the way real
+//!   callers behave; latency is measured from the scheduled arrival, so
+//!   queueing delay counts. A sweep over target rates yields the
+//!   latency-under-load curve (`rps_target` → achieved rps, p50/p99) that
+//!   shows where the server saturates.
 //!
 //! With `profile_rate > 0` the generator also closes the accuracy loop:
 //! each pool key gets a deterministic ground-truth taken-probability (seed
-//! `+2`), and after every predict batch a seeded sampler (seed `+3`) draws
-//! outcomes for a fraction of the rows and streams them back via the
-//! `PROFILE` opcode. The run then reports the server ledger's
-//! `observed_miss_rate` and `calibration_ece`, read back out of the final
-//! `STATS` exposition.
+//! `+2`), and after every predict batch the precomputed outcome records
+//! (seed `+3`) stream back via the `PROFILE` opcode. The run then reports
+//! the server ledger's `observed_miss_rate` and `calibration_ece`, read
+//! back out of the final `STATS` exposition.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use esp_runtime::Pcg32;
 
@@ -26,7 +43,7 @@ use crate::protocol::{PredictRow, ProfileRecord, ServeError, StatsSnapshot};
 /// Load-generator knobs. Defaults produce a few seconds of traffic.
 #[derive(Debug, Clone)]
 pub struct LoadGenConfig {
-    /// Predict requests (batches) to send.
+    /// Predict requests (batches) to send in the closed-loop phase.
     pub requests: usize,
     /// Rows per request.
     pub batch: usize,
@@ -39,6 +56,15 @@ pub struct LoadGenConfig {
     /// (`0.0` disables the accuracy loop entirely — no profile frames are
     /// sent).
     pub profile_rate: f64,
+    /// Concurrent client connections (clamped to at least 1). Each keeps
+    /// one request in flight during the closed loop and owns an arrival
+    /// stripe during the open loop.
+    pub connections: usize,
+    /// Open-loop arrival-rate sweep: `None` skips the phase, `Some(rates)`
+    /// sweeps those request-per-second targets, and `Some(vec![])` derives
+    /// targets from the measured closed-loop throughput (0.5×, 0.9×,
+    /// 1.2× — below, near, and past saturation).
+    pub open_loop: Option<Vec<f64>>,
 }
 
 impl Default for LoadGenConfig {
@@ -49,8 +75,25 @@ impl Default for LoadGenConfig {
             keys: 256,
             seed: 0xBE7C4,
             profile_rate: 0.0,
+            connections: 1,
+            open_loop: None,
         }
     }
+}
+
+/// One point on the open-loop latency-under-load curve.
+#[derive(Debug, Clone)]
+pub struct OpenLoopPoint {
+    /// Scheduled arrival rate, requests per second.
+    pub rps_target: f64,
+    /// Completed requests divided by the phase's wall clock — tracks the
+    /// target until the server saturates, then flattens at capacity.
+    pub achieved_rps: f64,
+    /// Median latency from *scheduled arrival* to response, milliseconds
+    /// (queueing delay included — this is what explodes past saturation).
+    pub p50_ms: f64,
+    /// 99th-percentile scheduled-arrival latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// What a load-generation run measured.
@@ -58,13 +101,13 @@ impl Default for LoadGenConfig {
 pub struct LoadGenReport {
     /// Echo of the generator knobs.
     pub cfg: LoadGenConfig,
-    /// Rows predicted in total.
+    /// Rows predicted in the closed-loop phase.
     pub predictions: u64,
-    /// Wall-clock for the whole run, milliseconds.
+    /// Wall-clock for the closed-loop phase, milliseconds.
     pub elapsed_ms: f64,
-    /// Predict requests per second.
+    /// Closed-loop predict requests per second.
     pub throughput_rps: f64,
-    /// Rows per second.
+    /// Closed-loop rows per second.
     pub predictions_per_sec: f64,
     /// Exact client-side round-trip latency quantiles, milliseconds.
     pub p50_ms: f64,
@@ -79,8 +122,16 @@ pub struct LoadGenReport {
     pub hist_p90_us: u64,
     /// Histogram-estimated p99, microseconds.
     pub hist_p99_us: u64,
-    /// Server-side cache hit rate over the run's rows.
+    /// Server-side cache hit rate over the closed-loop phase's rows (the
+    /// open loop replays the same pool, so its hits would inflate this).
     pub cache_hit_rate: f64,
+    /// Shard workers the server runs (the `esp_serve_shards` gauge).
+    pub shards: u64,
+    /// Hot reloads the server has performed (`esp_serve_reloads_total`).
+    pub reloads_total: u64,
+    /// The open-loop latency-under-load curve, one point per swept rate
+    /// (empty when the phase is skipped).
+    pub open_loop: Vec<OpenLoopPoint>,
     /// The server's miss fan-out chunk (rows per worker chunk) used for
     /// this run; `0` when driving a remote server whose setting is unknown.
     /// Filled in by the caller ([`run`] cannot see the server's config).
@@ -106,10 +157,11 @@ impl LoadGenReport {
     /// plus the histogram's quantile estimates.
     pub fn summary_line(&self) -> String {
         format!(
-            "bench: {} requests x {} rows in {:.0} ms | {:.0} req/s, {:.0} rows/s | \
+            "bench: {} requests x {} rows over {} conn(s) in {:.0} ms | {:.0} req/s, {:.0} rows/s | \
              latency p50 {} us, p90 {} us, p99 {} us (histogram) | cache hit rate {:.1}%",
             self.cfg.requests,
             self.cfg.batch,
+            self.cfg.connections.max(1),
             self.elapsed_ms,
             self.throughput_rps,
             self.predictions_per_sec,
@@ -148,8 +200,161 @@ pub fn key_pool(dim: usize, cfg: &LoadGenConfig) -> Vec<PredictRow> {
         .collect()
 }
 
-/// Run the generator against a server. The pre-run server stats are
-/// subtracted out, so the reported cache hit rate covers exactly this run.
+/// One precomputed request: which pool rows to send, and which outcome
+/// records (if any) to replay back after the batch returns. Precomputing
+/// the whole run keeps request content seed-deterministic even when
+/// several connections race to claim items.
+struct WorkItem {
+    picks: Vec<usize>,
+    profile: Vec<ProfileRecord>,
+}
+
+fn build_work(site_keys: &[Vec<u8>], cfg: &LoadGenConfig) -> Vec<WorkItem> {
+    let pool_len = site_keys.len();
+    let mut seq = Pcg32::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut profile_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(3));
+    // Each pool key's deterministic ground-truth taken-probability, which
+    // the outcome sampler draws against.
+    let mut truth_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(2));
+    let truth: Vec<f64> = (0..pool_len)
+        .map(|_| truth_rng.gen_range(0.0..1.0))
+        .collect();
+    (0..cfg.requests)
+        .map(|_| {
+            let picks: Vec<usize> = (0..cfg.batch)
+                .map(|_| seq.gen_range(0..pool_len))
+                .collect();
+            let mut profile = Vec::new();
+            if cfg.profile_rate > 0.0 {
+                for &i in &picks {
+                    if profile_rng.gen_bool(cfg.profile_rate) {
+                        profile.push(ProfileRecord {
+                            site_key: site_keys[i].clone(),
+                            taken: profile_rng.gen_bool(truth[i]),
+                            weight: 1.0,
+                        });
+                    }
+                }
+            }
+            WorkItem { picks, profile }
+        })
+        .collect()
+}
+
+/// Closed loop: `connections` clients each keep one request in flight,
+/// claiming items off a shared counter. Returns the merged, sorted
+/// latencies (µs) and the phase wall-clock in seconds.
+fn closed_loop(
+    addr: &str,
+    pool: &[PredictRow],
+    items: &[WorkItem],
+    connections: usize,
+    hist: &esp_obs::Log2Histogram,
+) -> Result<(Vec<u64>, f64), ServeError> {
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let results: Vec<Result<Vec<u64>, ServeError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                s.spawn(|| -> Result<Vec<u64>, ServeError> {
+                    let mut client = Client::connect(addr)?;
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let batch: Vec<PredictRow> =
+                            item.picks.iter().map(|&k| pool[k].clone()).collect();
+                        let _sp = esp_obs::span!("client", "predict", rows = batch.len());
+                        let sent = Instant::now();
+                        let preds = client.predict(batch)?;
+                        let us = sent.elapsed().as_micros() as u64;
+                        lat.push(us);
+                        hist.record(us);
+                        debug_assert_eq!(preds.len(), item.picks.len());
+                        if !item.profile.is_empty() {
+                            client.profile(item.profile.clone())?;
+                        }
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+    let mut all = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_unstable();
+    Ok((all, elapsed_s))
+}
+
+/// One open-loop point: requests arrive at `t_i = i / rate` on a fixed
+/// schedule striped across the connections, whether or not earlier ones
+/// have finished. Latency runs from the *scheduled* arrival, so a server
+/// that falls behind shows its queueing delay.
+fn open_loop_point(
+    addr: &str,
+    pool: &[PredictRow],
+    items: &[WorkItem],
+    connections: usize,
+    rps_target: f64,
+    total: usize,
+) -> Result<OpenLoopPoint, ServeError> {
+    // A small grace lead so the first arrivals aren't already late while
+    // the threads connect.
+    let t0 = Instant::now() + Duration::from_millis(20);
+    let results: Vec<Result<Vec<u64>, ServeError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                s.spawn(move || -> Result<Vec<u64>, ServeError> {
+                    let mut client = Client::connect(addr)?;
+                    let mut lat = Vec::new();
+                    let mut i = conn;
+                    while i < total {
+                        let due = t0 + Duration::from_secs_f64(i as f64 / rps_target);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let item = &items[i % items.len()];
+                        let batch: Vec<PredictRow> =
+                            item.picks.iter().map(|&k| pool[k].clone()).collect();
+                        client.predict(batch)?;
+                        lat.push(due.elapsed().as_micros() as u64);
+                        i += connections;
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let mut all = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_unstable();
+    Ok(OpenLoopPoint {
+        rps_target,
+        achieved_rps: all.len() as f64 / elapsed_s,
+        p50_ms: exact_quantile_ms(&all, 0.50),
+        p99_ms: exact_quantile_ms(&all, 0.99),
+    })
+}
+
+/// Run the generator against a server: the closed loop, then (when
+/// configured) the open-loop sweep. The pre-run server stats are
+/// subtracted out, so the reported cache hit rate covers exactly the
+/// closed-loop phase.
 pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport, ServeError> {
     if !(0.0..=1.0).contains(&cfg.profile_rate) {
         return Err(ServeError::Protocol(format!(
@@ -157,71 +362,48 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
             cfg.profile_rate
         )));
     }
+    let connections = cfg.connections.max(1);
     let pool = key_pool(dim, cfg);
-    // The accuracy-loop replay state: every pool key gets a site key (the
-    // server's cache/ledger key for that row) and a deterministic
-    // ground-truth taken-probability the outcome sampler draws against.
     let site_keys: Vec<Vec<u8>> = pool
         .iter()
         .map(|r| crate::cache::cache_key(&r.row, &r.mask))
         .collect();
-    let mut truth_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(2));
-    let truth: Vec<f64> = (0..pool.len())
-        .map(|_| truth_rng.gen_range(0.0..1.0))
-        .collect();
-    let mut profile_rng = Pcg32::seed_from_u64(cfg.seed.wrapping_add(3));
-    let mut profile_updates = 0u64;
+    let items = build_work(&site_keys, cfg);
+    let profile_updates: u64 = items.iter().map(|i| i.profile.len() as u64).sum();
 
-    let mut client = Client::connect(addr)?;
-    let before = client.stats()?;
-    let mut seq = Pcg32::seed_from_u64(cfg.seed.wrapping_add(1));
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let mut control = Client::connect(addr)?;
+    let before = control.stats()?;
     let hist = esp_obs::Log2Histogram::new();
+    let (latencies_us, elapsed_s) = closed_loop(addr, &pool, &items, connections, &hist)?;
+    let after_closed = control.stats()?;
+    let hits = after_closed.cache_hits - before.cache_hits;
+    let misses = after_closed.cache_misses - before.cache_misses;
+    let run_rows = hits + misses;
+    let closed_rps = cfg.requests as f64 / elapsed_s;
 
-    let run_start = std::time::Instant::now();
-    for _ in 0..cfg.requests {
-        let picks: Vec<usize> = (0..cfg.batch)
-            .map(|_| seq.gen_range(0..pool.len()))
-            .collect();
-        let batch: Vec<PredictRow> = picks.iter().map(|&i| pool[i].clone()).collect();
-        let _sp = esp_obs::span!("client", "predict", rows = cfg.batch);
-        let sent = std::time::Instant::now();
-        let preds = client.predict(batch)?;
-        let us = sent.elapsed().as_micros() as u64;
-        latencies_us.push(us);
-        hist.record(us);
-        debug_assert_eq!(preds.len(), cfg.batch);
-        if cfg.profile_rate > 0.0 {
-            let mut records = Vec::new();
-            for &i in &picks {
-                if profile_rng.gen_bool(cfg.profile_rate) {
-                    records.push(ProfileRecord {
-                        site_key: site_keys[i].clone(),
-                        taken: profile_rng.gen_bool(truth[i]),
-                        weight: 1.0,
-                    });
-                }
-            }
-            if !records.is_empty() {
-                profile_updates += records.len() as u64;
-                client.profile(records)?;
+    let mut open = Vec::new();
+    if let Some(targets) = &cfg.open_loop {
+        let targets: Vec<f64> = if targets.is_empty() {
+            [0.5, 0.9, 1.2].iter().map(|f| f * closed_rps).collect()
+        } else {
+            targets.clone()
+        };
+        let per_point = (cfg.requests / 2).clamp(20, 400);
+        for rate in targets {
+            if rate.is_finite() && rate > 0.0 {
+                open.push(open_loop_point(
+                    addr, &pool, &items, connections, rate, per_point,
+                )?);
             }
         }
     }
-    let elapsed = run_start.elapsed();
 
-    let after = client.stats()?;
-    let hits = after.cache_hits - before.cache_hits;
-    let misses = after.cache_misses - before.cache_misses;
-    let run_rows = hits + misses;
-
-    latencies_us.sort_unstable();
-    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    let after = control.stats()?;
     Ok(LoadGenReport {
         cfg: cfg.clone(),
         predictions: (cfg.requests * cfg.batch) as u64,
         elapsed_ms: elapsed_s * 1e3,
-        throughput_rps: cfg.requests as f64 / elapsed_s,
+        throughput_rps: closed_rps,
         predictions_per_sec: (cfg.requests * cfg.batch) as f64 / elapsed_s,
         p50_ms: exact_quantile_ms(&latencies_us, 0.50),
         p99_ms: exact_quantile_ms(&latencies_us, 0.99),
@@ -234,6 +416,10 @@ pub fn run(addr: &str, dim: usize, cfg: &LoadGenConfig) -> Result<LoadGenReport,
         } else {
             hits as f64 / run_rows as f64
         },
+        shards: gauge_value(&after.exposition, "esp_serve_shards").unwrap_or(1.0) as u64,
+        reloads_total: gauge_value(&after.exposition, "esp_serve_reloads_total")
+            .unwrap_or(0.0) as u64,
+        open_loop: open,
         predict_chunk: 0,
         predict_chunk_source: "default".to_string(),
         observed_miss_rate: if profile_updates > 0 {
@@ -271,6 +457,12 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!("  \"keys\": {},\n", r.cfg.keys));
     s.push_str(&format!("  \"seed\": {},\n", r.cfg.seed));
     s.push_str(&format!("  \"profile_rate\": {},\n", r.cfg.profile_rate));
+    s.push_str(&format!(
+        "  \"connections\": {},\n",
+        r.cfg.connections.max(1)
+    ));
+    s.push_str(&format!("  \"shards\": {},\n", r.shards));
+    s.push_str(&format!("  \"reloads_total\": {},\n", r.reloads_total));
     s.push_str(&format!("  \"predictions\": {},\n", r.predictions));
     s.push_str(&format!("  \"elapsed_ms\": {:.3},\n", r.elapsed_ms));
     s.push_str(&format!("  \"throughput_rps\": {:.3},\n", r.throughput_rps));
@@ -285,6 +477,19 @@ pub fn render_json(r: &LoadGenReport) -> String {
     s.push_str(&format!("  \"hist_p90_us\": {},\n", r.hist_p90_us));
     s.push_str(&format!("  \"hist_p99_us\": {},\n", r.hist_p99_us));
     s.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", r.cache_hit_rate));
+    s.push_str("  \"open_loop\": [\n");
+    for (i, p) in r.open_loop.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rps_target\": {:.3}, \"achieved_rps\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            p.rps_target,
+            p.achieved_rps,
+            p.p50_ms,
+            p.p99_ms,
+            if i + 1 == r.open_loop.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str(&format!("  \"predict_chunk\": {},\n", r.predict_chunk));
     s.push_str(&format!(
         "  \"predict_chunk_source\": \"{}\",\n",
@@ -332,6 +537,45 @@ pub fn write_json(r: &LoadGenReport, path: &Path) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    fn report() -> LoadGenReport {
+        LoadGenReport {
+            cfg: LoadGenConfig::default(),
+            predictions: 16000,
+            elapsed_ms: 1200.0,
+            throughput_rps: 416.7,
+            predictions_per_sec: 13333.3,
+            p50_ms: 1.2,
+            p99_ms: 4.5,
+            max_ms: 9.0,
+            hist_p50_us: 2047,
+            hist_p90_us: 4095,
+            hist_p99_us: 8191,
+            cache_hit_rate: 0.82,
+            shards: 2,
+            reloads_total: 0,
+            open_loop: vec![
+                OpenLoopPoint {
+                    rps_target: 200.0,
+                    achieved_rps: 199.2,
+                    p50_ms: 1.1,
+                    p99_ms: 3.2,
+                },
+                OpenLoopPoint {
+                    rps_target: 500.0,
+                    achieved_rps: 417.0,
+                    p50_ms: 88.0,
+                    p99_ms: 240.0,
+                },
+            ],
+            predict_chunk: 32,
+            predict_chunk_source: "sweep".to_string(),
+            observed_miss_rate: 0.25,
+            calibration_ece: 0.03,
+            profile_updates_per_sec: 1234.5,
+            server: StatsSnapshot::default(),
+        }
+    }
+
     #[test]
     fn key_pool_is_deterministic_and_shaped() {
         let cfg = LoadGenConfig {
@@ -357,6 +601,32 @@ mod tests {
     }
 
     #[test]
+    fn work_items_are_seed_deterministic() {
+        let cfg = LoadGenConfig {
+            requests: 12,
+            batch: 4,
+            keys: 16,
+            seed: 99,
+            profile_rate: 0.5,
+            ..LoadGenConfig::default()
+        };
+        let keys: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i]).collect();
+        let a = build_work(&keys, &cfg);
+        let b = build_work(&keys, &cfg);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.picks, y.picks);
+            assert_eq!(x.profile.len(), y.profile.len());
+            for (p, q) in x.profile.iter().zip(&y.profile) {
+                assert_eq!((&p.site_key, p.taken), (&q.site_key, q.taken));
+            }
+        }
+        // some but not all rows profile back at rate 0.5
+        let total: usize = a.iter().map(|i| i.profile.len()).sum();
+        assert!(total > 0 && total < 12 * 4, "profiled {total} of 48");
+    }
+
+    #[test]
     fn exact_quantiles() {
         let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
         assert!((exact_quantile_ms(&us, 0.50) - 50.0).abs() < 1e-9);
@@ -366,26 +636,7 @@ mod tests {
 
     #[test]
     fn json_has_the_required_keys() {
-        let r = LoadGenReport {
-            cfg: LoadGenConfig::default(),
-            predictions: 16000,
-            elapsed_ms: 1200.0,
-            throughput_rps: 416.7,
-            predictions_per_sec: 13333.3,
-            p50_ms: 1.2,
-            p99_ms: 4.5,
-            max_ms: 9.0,
-            hist_p50_us: 2047,
-            hist_p90_us: 4095,
-            hist_p99_us: 8191,
-            cache_hit_rate: 0.82,
-            predict_chunk: 32,
-            predict_chunk_source: "sweep".to_string(),
-            observed_miss_rate: 0.25,
-            calibration_ece: 0.03,
-            profile_updates_per_sec: 1234.5,
-            server: StatsSnapshot::default(),
-        };
+        let r = report();
         let json = render_json(&r);
         for key in [
             "\"requests\"",
@@ -395,6 +646,12 @@ mod tests {
             "\"p99_ms\"",
             "\"hist_p90_us\"",
             "\"cache_hit_rate\"",
+            "\"connections\"",
+            "\"shards\"",
+            "\"reloads_total\"",
+            "\"open_loop\"",
+            "\"rps_target\"",
+            "\"achieved_rps\"",
             "\"predict_chunk\"",
             "\"predict_chunk_source\"",
             "\"profile_rate\"",
@@ -405,15 +662,19 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"observed_miss_rate\": 0.250000"));
+        assert!(json.contains("\"shards\": 2"));
+        // the two curve points render comma-separated inside the array
+        assert!(json.contains("{\"rps_target\": 200.000"));
+        assert!(json.contains("{\"rps_target\": 500.000"));
         let line = r.summary_line();
         assert!(line.contains("p90 4095 us"));
         assert!(line.contains("500 requests"));
+        assert!(line.contains("1 conn(s)"));
     }
 
     #[test]
     fn unprofiled_runs_render_null_accuracy() {
         let r = LoadGenReport {
-            cfg: LoadGenConfig::default(),
             predictions: 0,
             elapsed_ms: 0.0,
             throughput_rps: 0.0,
@@ -425,17 +686,20 @@ mod tests {
             hist_p90_us: 0,
             hist_p99_us: 0,
             cache_hit_rate: 0.0,
+            open_loop: Vec::new(),
             predict_chunk: 0,
             predict_chunk_source: "default".to_string(),
             observed_miss_rate: f64::NAN,
             calibration_ece: f64::NAN,
             profile_updates_per_sec: 0.0,
-            server: StatsSnapshot::default(),
+            ..report()
         };
         let json = render_json(&r);
         assert!(json.contains("\"observed_miss_rate\": null"));
         assert!(json.contains("\"calibration_ece\": null"));
         assert!(json.contains("\"profile_updates_per_sec\": 0.000"));
+        // an empty sweep still renders the (empty) array
+        assert!(json.contains("\"open_loop\": [\n  ],"));
     }
 
     #[test]

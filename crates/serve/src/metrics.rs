@@ -22,6 +22,15 @@ use esp_obs::{Counter, Gauge, Log2Histogram, MetricsRegistry};
 
 use crate::protocol::StatsSnapshot;
 
+/// Per-shard gauge handles (the registry has no label support, so each
+/// shard gets its own `esp_serve_shard_{i}_*` families).
+#[derive(Debug)]
+struct ShardGauges {
+    queue_depth: Arc<Gauge>,
+    cache_hit_ratio: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+}
+
 /// Shared server metrics; recording goes through lock-free atomic handles.
 #[derive(Debug)]
 pub struct Metrics {
@@ -38,15 +47,33 @@ pub struct Metrics {
     pub cache_hits: Arc<Counter>,
     /// Rows computed by the network.
     pub cache_misses: Arc<Counter>,
+    /// Hot reloads completed (model versions swapped in live).
+    pub reloads: Arc<Counter>,
     request_us: Arc<Log2Histogram>,
     predict_compute_us: Arc<Log2Histogram>,
     batch_size: Arc<Log2Histogram>,
     cache_hit_ratio: Arc<Gauge>,
     predict_precision: Arc<Gauge>,
+    model_version: Arc<Gauge>,
+    shard_gauges: Vec<ShardGauges>,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        Metrics::with_shards(1)
+    }
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Fresh metrics for a server of `nshards` shard workers: the
+    /// `esp_serve_shards` gauge is set and one `esp_serve_shard_{i}_*`
+    /// gauge family is registered per shard.
+    pub fn with_shards(nshards: usize) -> Self {
         let registry = MetricsRegistry::new();
         let connections = registry.counter("esp_serve_connections_total");
         let requests = registry.counter("esp_serve_requests_total");
@@ -54,11 +81,21 @@ impl Default for Metrics {
         let predictions = registry.counter("esp_serve_predictions_total");
         let cache_hits = registry.counter("esp_serve_cache_hits_total");
         let cache_misses = registry.counter("esp_serve_cache_misses_total");
+        let reloads = registry.counter("esp_serve_reloads_total");
         let request_us = registry.histogram("esp_serve_request_us");
         let predict_compute_us = registry.histogram("esp_serve_predict_compute_us");
         let batch_size = registry.histogram("esp_serve_batch_size");
         let cache_hit_ratio = registry.gauge("esp_serve_cache_hit_ratio");
         let predict_precision = registry.gauge("esp_serve_predict_precision");
+        registry.gauge("esp_serve_shards").set(nshards as f64);
+        let model_version = registry.gauge("esp_serve_model_version");
+        let shard_gauges = (0..nshards)
+            .map(|i| ShardGauges {
+                queue_depth: registry.gauge(&format!("esp_serve_shard_{i}_queue_depth")),
+                cache_hit_ratio: registry.gauge(&format!("esp_serve_shard_{i}_cache_hit_ratio")),
+                cache_entries: registry.gauge(&format!("esp_serve_shard_{i}_cache_entries")),
+            })
+            .collect();
         Metrics {
             registry,
             connections,
@@ -67,19 +104,15 @@ impl Default for Metrics {
             predictions,
             cache_hits,
             cache_misses,
+            reloads,
             request_us,
             predict_compute_us,
             batch_size,
             cache_hit_ratio,
             predict_precision,
+            model_version,
+            shard_gauges,
         }
-    }
-}
-
-impl Metrics {
-    /// Fresh zeroed metrics.
-    pub fn new() -> Self {
-        Metrics::default()
     }
 
     /// Record one request's end-to-end service time (any opcode), in
@@ -103,6 +136,30 @@ impl Metrics {
     /// `esp_serve_predict_precision` gauge; set once at server start.
     pub fn set_precision(&self, bits: u32) {
         self.predict_precision.set(bits as f64);
+    }
+
+    /// Record the default model's registry version on the
+    /// `esp_serve_model_version` gauge; set at start and on hot reload.
+    pub fn set_model_version(&self, version: u32) {
+        self.model_version.set(version as f64);
+    }
+
+    /// Number of shard workers this registry was built for.
+    pub fn shard_count(&self) -> usize {
+        self.shard_gauges.len()
+    }
+
+    /// Refresh one shard's health gauges from its worker counters.
+    pub fn set_shard(&self, shard: usize, queue_depth: u64, hits: u64, misses: u64, entries: u64) {
+        let Some(g) = self.shard_gauges.get(shard) else {
+            return;
+        };
+        g.queue_depth.set(queue_depth as f64);
+        let total = hits + misses;
+        if total > 0 {
+            g.cache_hit_ratio.set(hits as f64 / total as f64);
+        }
+        g.cache_entries.set(entries as f64);
     }
 
     /// Refresh the cache-hit-ratio gauge from the hit/miss counters.

@@ -21,12 +21,20 @@
 //! `esp_obs::trace::merge_json`). Then requests carry a one-byte opcode:
 //!
 //! ```text
-//! 1 PREDICT   u32 n, u32 dim, then n × (dim f64 raw row, dim u8 mask)
+//! 1 PREDICT   str model, u32 n, u32 dim, then n × (dim f64 row, dim u8 mask)
 //! 2 STATS     (empty body)
-//! 3 INFO      (empty body)
+//! 3 INFO      str model
 //! 4 SHUTDOWN  (empty body)
 //! 5 PROFILE   u32 n, then n × (u32 key_len, key bytes, u8 taken, f64 weight)
 //! ```
+//!
+//! Since v4, PREDICT and INFO carry a **model selector** string (u32 length
+//! prefix + UTF-8, the artifact crate's `str` encoding): `""` selects the
+//! server's default model, `"name"` the newest loaded version registered
+//! under that name, and `"name@version"` one exact version. An unknown
+//! selector is a [`Response::Error`], not a connection teardown. Selectors
+//! are capped at [`MAX_SELECTOR`] bytes so a hostile frame cannot smuggle
+//! megabytes into the routing path.
 //!
 //! A PROFILE record reports one observed branch-outcome aggregate for the
 //! site identified by `key` (the canonical site key is the serve cache's
@@ -59,8 +67,15 @@ pub const PROTOCOL_MAGIC: u8 = 0xE5;
 /// prefix, STATS body without the metrics exposition); v2 added this
 /// prefix and appended the text exposition to STATS; v3 added the `u64`
 /// request id after the version bytes (both directions) and the PROFILE
-/// opcode. Bump on any payload layout change.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// opcode; v4 added the model selector string to PREDICT and INFO and the
+/// `model_name`/`model_version` fields to the INFO response (multi-model
+/// routing). Bump on any payload layout change.
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// Longest model selector accepted on the wire, in bytes. Registry names
+/// are short identifiers; this cap keeps hostile frames from parking large
+/// allocations in the routing path.
+pub const MAX_SELECTOR: usize = 256;
 
 fn write_version(w: &mut ByteWriter) {
     w.u8(PROTOCOL_MAGIC);
@@ -255,16 +270,54 @@ pub struct ProfileRecord {
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Predict a batch of feature rows.
-    Predict(Vec<PredictRow>),
+    /// Predict a batch of feature rows against the selected model
+    /// (`""` = the server's default).
+    Predict {
+        /// Model selector: `""`, `"name"`, or `"name@version"`.
+        model: String,
+        /// The batch rows.
+        rows: Vec<PredictRow>,
+    },
     /// Fetch the server's metrics counters.
     Stats,
-    /// Fetch model facts (dimensionality, provenance).
-    Info,
+    /// Fetch model facts (dimensionality, provenance) for the selected
+    /// model (`""` = the server's default).
+    Info {
+        /// Model selector: `""`, `"name"`, or `"name@version"`.
+        model: String,
+    },
     /// Ask the server to stop accepting work and exit.
     Shutdown,
     /// Report observed branch outcomes for the accuracy ledger.
     Profile(Vec<ProfileRecord>),
+}
+
+/// Enforce the wire cap on a model selector, both directions.
+fn check_selector(model: &str) -> Result<(), ServeError> {
+    if model.len() > MAX_SELECTOR {
+        return Err(ServeError::Protocol(format!(
+            "model selector of {} bytes exceeds the {MAX_SELECTOR}-byte cap",
+            model.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Decode a model selector, checking the length cap *before* materializing
+/// the string (the same pre-allocation discipline as the batch bounds).
+fn read_selector(r: &mut ByteReader) -> Result<String, ServeError> {
+    let len = r.u32()? as usize;
+    if len > MAX_SELECTOR {
+        return Err(ServeError::Protocol(format!(
+            "model selector of {len} bytes exceeds the {MAX_SELECTOR}-byte cap"
+        )));
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.u8()?);
+    }
+    String::from_utf8(bytes)
+        .map_err(|_| ServeError::Protocol("model selector is not valid UTF-8".into()))
 }
 
 /// One prediction: the taken-probability and the thresholded direction.
@@ -325,6 +378,11 @@ pub struct ServerInfo {
     pub format_version: u32,
     /// Corpus the model was trained on.
     pub corpus_id: String,
+    /// Registry name the model is routed under (empty when the server was
+    /// started from a bare `.espm` file or a synthetic model).
+    pub model_name: String,
+    /// Registry version of the loaded model (0 when unversioned).
+    pub model_version: u32,
 }
 
 /// Acknowledgement of a PROFILE request: how many records joined a served
@@ -387,9 +445,11 @@ impl Request {
         write_version(&mut w);
         w.u64(req_id);
         match self {
-            Request::Predict(rows) => {
+            Request::Predict { model, rows } => {
                 let dim = uniform_dim(rows)?;
+                check_selector(model)?;
                 w.u8(OP_PREDICT);
+                w.str(model);
                 w.u32(rows.len() as u32);
                 w.u32(dim as u32);
                 for r in rows {
@@ -402,7 +462,11 @@ impl Request {
                 }
             }
             Request::Stats => w.u8(OP_STATS),
-            Request::Info => w.u8(OP_INFO),
+            Request::Info { model } => {
+                check_selector(model)?;
+                w.u8(OP_INFO);
+                w.str(model);
+            }
             Request::Shutdown => w.u8(OP_SHUTDOWN),
             Request::Profile(records) => {
                 w.u8(OP_PROFILE);
@@ -444,6 +508,7 @@ impl Request {
         let op = r.u8()?;
         let req = match op {
             OP_PREDICT => {
+                let model = read_selector(&mut r)?;
                 let n = r.u32()? as usize;
                 let dim = r.u32()? as usize;
                 // Each row consumes 9·dim bytes. dim == 0 would make the
@@ -475,10 +540,12 @@ impl Request {
                     }
                     rows.push(PredictRow { row, mask });
                 }
-                Request::Predict(rows)
+                Request::Predict { model, rows }
             }
             OP_STATS => Request::Stats,
-            OP_INFO => Request::Info,
+            OP_INFO => Request::Info {
+                model: read_selector(&mut r)?,
+            },
             OP_SHUTDOWN => Request::Shutdown,
             OP_PROFILE => {
                 let n = r.u32()? as usize;
@@ -588,6 +655,8 @@ impl Response {
                 w.u32(i.hidden);
                 w.u32(i.format_version);
                 w.str(&i.corpus_id);
+                w.str(&i.model_name);
+                w.u32(i.model_version);
             }
             Response::ShuttingDown => {
                 w.u8(ST_OK);
@@ -653,6 +722,8 @@ impl Response {
                 hidden: r.u32()?,
                 format_version: r.u32()?,
                 corpus_id: r.str()?,
+                model_name: r.str()?,
+                model_version: r.u32()?,
             }),
             RESP_SHUTDOWN => Response::ShuttingDown,
             RESP_PROFILE => Response::Profiled(ProfileAck {
@@ -677,19 +748,37 @@ mod tests {
     #[test]
     fn request_round_trips() {
         let reqs = [
-            Request::Predict(vec![
-                PredictRow {
-                    row: vec![1.0, -2.5, 0.0],
-                    mask: vec![true, false, true],
-                },
-                PredictRow {
-                    row: vec![0.5, 0.25, -0.0],
-                    mask: vec![true, true, true],
-                },
-            ]),
-            Request::Predict(Vec::new()),
+            Request::Predict {
+                model: String::new(),
+                rows: vec![
+                    PredictRow {
+                        row: vec![1.0, -2.5, 0.0],
+                        mask: vec![true, false, true],
+                    },
+                    PredictRow {
+                        row: vec![0.5, 0.25, -0.0],
+                        mask: vec![true, true, true],
+                    },
+                ],
+            },
+            Request::Predict {
+                model: "branch-esp@2".into(),
+                rows: vec![PredictRow {
+                    row: vec![0.5],
+                    mask: vec![true],
+                }],
+            },
+            Request::Predict {
+                model: String::new(),
+                rows: Vec::new(),
+            },
             Request::Stats,
-            Request::Info,
+            Request::Info {
+                model: String::new(),
+            },
+            Request::Info {
+                model: "branch-esp".into(),
+            },
             Request::Shutdown,
             Request::Profile(vec![ProfileRecord {
                 site_key: vec![0xDE, 0xAD],
@@ -706,25 +795,78 @@ mod tests {
     #[test]
     fn ragged_batches_fail_to_encode() {
         let ragged = [
-            Request::Predict(vec![
-                PredictRow {
-                    row: vec![1.0, 2.0],
-                    mask: vec![true, true],
-                },
-                PredictRow {
-                    row: vec![1.0],
-                    mask: vec![true],
-                },
-            ]),
+            Request::Predict {
+                model: String::new(),
+                rows: vec![
+                    PredictRow {
+                        row: vec![1.0, 2.0],
+                        mask: vec![true, true],
+                    },
+                    PredictRow {
+                        row: vec![1.0],
+                        mask: vec![true],
+                    },
+                ],
+            },
             // mask length disagreeing with the row length is just as ragged
-            Request::Predict(vec![PredictRow {
-                row: vec![1.0, 2.0],
-                mask: vec![true],
-            }]),
+            Request::Predict {
+                model: String::new(),
+                rows: vec![PredictRow {
+                    row: vec![1.0, 2.0],
+                    mask: vec![true],
+                }],
+            },
         ];
         for req in ragged {
             assert!(matches!(req.encode(), Err(ServeError::Protocol(_))));
         }
+    }
+
+    #[test]
+    fn model_selectors_are_capped_both_directions() {
+        let long = "m".repeat(MAX_SELECTOR + 1);
+        for req in [
+            Request::Info {
+                model: long.clone(),
+            },
+            Request::Predict {
+                model: long.clone(),
+                rows: Vec::new(),
+            },
+        ] {
+            let err = req.encode().unwrap_err();
+            assert!(
+                matches!(&err, ServeError::Protocol(m) if m.contains("selector")),
+                "got: {err}"
+            );
+        }
+        // At the cap, everything round-trips.
+        let at_cap = Request::Info {
+            model: "m".repeat(MAX_SELECTOR),
+        };
+        assert_eq!(Request::decode(&at_cap.encode().unwrap()).unwrap(), at_cap);
+
+        // A hostile frame claiming a selector longer than the cap is
+        // refused before the string is materialized.
+        let mut w = v4_prefix(0);
+        w.u8(OP_INFO);
+        w.u32(u32::MAX);
+        let err = Request::decode(&w.into_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("selector")),
+            "got: {err}"
+        );
+        // Non-UTF-8 selector bytes are a named decode error.
+        let mut w = v4_prefix(0);
+        w.u8(OP_INFO);
+        w.u32(2);
+        w.u8(0xFF);
+        w.u8(0xFE);
+        let err = Request::decode(&w.into_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("UTF-8")),
+            "got: {err}"
+        );
     }
 
     #[test]
@@ -753,6 +895,16 @@ mod tests {
                 hidden: 10,
                 format_version: 1,
                 corpus_id: "cc-osf1-v1.2".into(),
+                model_name: "branch-esp".into(),
+                model_version: 3,
+            }),
+            Response::Info(ServerInfo {
+                dim: 24,
+                hidden: 8,
+                format_version: 3,
+                corpus_id: "synthetic".into(),
+                model_name: String::new(),
+                model_version: 0,
             }),
             Response::ShuttingDown,
             Response::Profiled(ProfileAck {
@@ -798,10 +950,13 @@ mod tests {
 
     #[test]
     fn frame_reader_survives_timeouts_mid_frame() {
-        let payload = Request::Predict(vec![PredictRow {
-            row: vec![0.5, -1.5],
-            mask: vec![true, false],
-        }])
+        let payload = Request::Predict {
+            model: String::new(),
+            rows: vec![PredictRow {
+                row: vec![0.5, -1.5],
+                mask: vec![true, false],
+            }],
+        }
         .encode()
         .unwrap();
         let mut framed = Vec::new();
@@ -872,6 +1027,7 @@ mod tests {
         w.u8(PROTOCOL_VERSION);
         w.u64(0);
         w.u8(OP_PREDICT);
+        w.u32(0); // empty model selector
         w.u32(u32::MAX);
         w.u32(1000);
         assert!(matches!(
@@ -885,6 +1041,7 @@ mod tests {
         w.u8(PROTOCOL_VERSION);
         w.u64(0);
         w.u8(OP_PREDICT);
+        w.u32(0); // empty model selector
         w.u32(u32::MAX);
         w.u32(0);
         assert!(matches!(
@@ -898,8 +1055,8 @@ mod tests {
         ));
     }
 
-    /// A versioned-v3 payload prefix: magic, version, request id.
-    fn v3_prefix(req_id: u64) -> ByteWriter {
+    /// A current-version payload prefix: magic, version, request id.
+    fn v4_prefix(req_id: u64) -> ByteWriter {
         let mut w = ByteWriter::new();
         w.u8(PROTOCOL_MAGIC);
         w.u8(PROTOCOL_VERSION);
@@ -942,7 +1099,13 @@ mod tests {
 
     #[test]
     fn request_ids_ride_every_opcode() {
-        for req in [Request::Stats, Request::Info, Request::Shutdown] {
+        for req in [
+            Request::Stats,
+            Request::Info {
+                model: "panel@3".into(),
+            },
+            Request::Shutdown,
+        ] {
             let payload = req.encode_with_id(7).unwrap();
             assert_eq!(Request::decode_with_id(&payload).unwrap(), (7, req));
         }
@@ -956,7 +1119,7 @@ mod tests {
     #[test]
     fn hostile_profile_frames_are_typed_errors() {
         // Record count beyond what the frame can hold.
-        let mut w = v3_prefix(0);
+        let mut w = v4_prefix(0);
         w.u8(OP_PROFILE);
         w.u32(u32::MAX);
         assert!(matches!(
@@ -966,7 +1129,7 @@ mod tests {
         // Zero-length site key: would let outcomes alias a degenerate key.
         // (One padding byte keeps the frame at PROFILE_RECORD_MIN so the
         // batch-bound check passes and the key check itself is exercised.)
-        let mut w = v3_prefix(0);
+        let mut w = v4_prefix(0);
         w.u8(OP_PROFILE);
         w.u32(1);
         w.u32(0); // key_len = 0
@@ -979,7 +1142,7 @@ mod tests {
             "got: {err}"
         );
         // Site key length beyond the frame.
-        let mut w = v3_prefix(0);
+        let mut w = v4_prefix(0);
         w.u8(OP_PROFILE);
         w.u32(1);
         w.u32(1 << 20);
@@ -990,7 +1153,7 @@ mod tests {
             Err(ServeError::Protocol(_))
         ));
         // Truncated mid-record: key promises 4 bytes, frame ends after 1.
-        let mut w = v3_prefix(0);
+        let mut w = v4_prefix(0);
         w.u8(OP_PROFILE);
         w.u32(1);
         w.u32(4);
@@ -998,7 +1161,7 @@ mod tests {
         assert!(Request::decode(&w.into_bytes()).is_err());
         // Non-finite and negative weights are refused on decode…
         for bad in [f64::NAN, f64::INFINITY, -1.0] {
-            let mut w = v3_prefix(0);
+            let mut w = v4_prefix(0);
             w.u8(OP_PROFILE);
             w.u32(1);
             w.u32(1);
@@ -1028,31 +1191,43 @@ mod tests {
     }
 
     #[test]
-    fn v2_and_v3_peers_refuse_each_other_by_name() {
-        const V2: u8 = 2;
-        // A v2 STATS request (no request id) read by this v3 build: named
-        // version mismatch, not a misparse.
-        let v2_stats = [PROTOCOL_MAGIC, V2, OP_STATS];
-        let err = Request::decode(&v2_stats).unwrap_err();
+    fn older_versioned_peers_are_refused_by_name() {
+        const V3: u8 = 3;
+        // A v3 STATS request (no model selectors anywhere) read by this v4
+        // build: named version mismatch, not a misparse.
+        let v3_stats = [
+            PROTOCOL_MAGIC,
+            V3,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0, // request id
+            OP_STATS,
+        ];
+        let err = Request::decode(&v3_stats).unwrap_err();
         assert!(
             matches!(&err, ServeError::Protocol(m)
-                if m.contains("version 2") && m.contains("3")),
+                if m.contains("version 3") && m.contains("4")),
             "got: {err}"
         );
-        // A v2 response read by a v3 client: same.
-        let v2_resp = [PROTOCOL_MAGIC, V2, ST_OK, RESP_SHUTDOWN];
+        // A v3 response read by a v4 client: same.
+        let v3_resp = [PROTOCOL_MAGIC, V3, 0, 0, 0, 0, 0, 0, 0, 0, ST_OK, RESP_SHUTDOWN];
         assert!(matches!(
-            Response::decode(&v2_resp),
+            Response::decode(&v3_resp),
             Err(ServeError::Protocol(_))
         ));
-        // The converse (v3 frame at a v2 peer) is simulated by the same
-        // strict equality check: a v2 build sees version 3 ≠ 2 and refuses
+        // The converse (v4 frame at a v3 peer) is simulated by the same
+        // strict equality check: a v3 build sees version 4 ≠ 3 and refuses
         // before touching the body. Verify our own encoder really stamps
-        // version 3 in byte 1, which is all a v2 decoder looks at.
+        // version 4 in byte 1, which is all an older decoder looks at.
         let payload = Request::Stats.encode().unwrap();
         assert_eq!(payload[0], PROTOCOL_MAGIC);
-        assert_eq!(payload[1], 3);
-        assert_ne!(payload[1], V2);
+        assert_eq!(payload[1], 4);
+        assert_ne!(payload[1], V3);
     }
 
     #[test]

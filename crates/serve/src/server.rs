@@ -1,34 +1,47 @@
-//! The threaded TCP prediction server.
+//! The event-loop TCP prediction server.
 //!
-//! One acceptor thread plus one thread per connection, all on the
-//! `esp-runtime` discipline: deterministic results (the model is immutable;
-//! the cache only memoises bit-identical values), parallelism only affects
-//! wall-clock. Large predict batches fan their cache misses out over the
-//! runtime's worker pool.
+//! One reactor thread drives a nonblocking listener plus every connection
+//! as a resumable state machine (read → decode → dispatch → write, built
+//! on the same resumable `FrameReader` the threaded server used), and N
+//! shard workers own per-shard LRU caches and do the model compute. All of
+//! it stays on the `esp-runtime` discipline: deterministic results (the
+//! model is immutable; the caches only memoise bit-identical values),
+//! parallelism only affects wall-clock.
+//!
+//! Per connection, responses are queued in request order: immediate
+//! opcodes (STATS, INFO, PROFILE, SHUTDOWN, errors) enter the queue as
+//! encoded bytes, while a PREDICT enters as a pending join that the shard
+//! workers fill; the reactor completes the head of the queue as soon as
+//! its join resolves, so pipelined clients always read replies in the
+//! order they asked. Partial writes park in a per-connection buffer and
+//! resume when the socket drains.
+//!
+//! Multiple models are served behind one port (see the `models` module):
+//! the v4 PREDICT/INFO selector picks one, and a watcher thread can hot
+//! reload new registry versions with an atomic `Arc` swap — in-flight
+//! requests finish on the model they resolved; nothing fails or drops.
 //!
 //! Shutdown is graceful: a `SHUTDOWN` frame (or [`ServerHandle::shutdown`])
-//! raises a flag, wakes the acceptor with a loopback connection, and every
-//! connection thread drains its current request before exiting; the acceptor
-//! joins them all.
+//! raises a flag; the reactor stops accepting and reading, finishes every
+//! queued response, flushes, stops the shard workers, and exits.
 
-use std::io::ErrorKind;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use esp_artifact::{AnyArtifact, ModelArtifact, FORMAT_VERSION};
-use esp_core::EspModel;
+use esp_artifact::{AnyArtifact, ModelArtifact, Registry, FORMAT_VERSION};
 use esp_obs::window::{Clock, SlidingWindow, SystemClock};
 use esp_obs::{Ledger, OutcomeRecord};
-use esp_runtime::parallel_map;
 
-use crate::cache::{cache_key, LruCache};
 use crate::metrics::Metrics;
+use crate::models::{entry_from_any, model_at_precision, ModelEntry, ModelTable};
 use crate::protocol::{
-    write_frame, FrameReader, Prediction, ProfileAck, ProfileRecord, Request, Response,
-    ServeError, ServerInfo,
+    FrameReader, Prediction, ProfileAck, ProfileRecord, Request, Response, ServeError, ServerInfo,
 };
+use crate::shard::{PredictJoin, ShardPool, ShardStats};
 
 /// Numeric precision the server predicts at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +66,15 @@ impl std::str::FromStr for Precision {
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads for computing large batches; `0` = one per core.
-    pub threads: usize,
-    /// LRU cache capacity in entries; `0` disables the cache.
+    /// Shard workers, each owning its slice of the LRU cache; `0` = one
+    /// per available core.
+    pub shards: usize,
+    /// Aggregate LRU cache capacity in entries, split evenly across the
+    /// shards; `0` disables caching.
     pub cache_capacity: usize,
-    /// Rows per worker chunk when a batch's cache misses fan out over the
-    /// pool (`--predict-chunk`); clamped to at least 1.
+    /// Rows per batched-kernel call inside a shard (`--predict-chunk`);
+    /// clamped to at least 1. A memory knob: results are bitwise identical
+    /// at any chunk size.
     pub predict_chunk: usize,
     /// Serving precision; `None` = the artifact's native precision. An f64
     /// artifact can be quantized down to f32 at load; an f32 artifact
@@ -70,17 +86,23 @@ pub struct ServeConfig {
     /// Record served predictions and PROFILE outcomes in the per-site
     /// accuracy ledger. Off, the ledger costs one atomic load per row.
     pub ledger: bool,
+    /// Poll the artifact registry every this many milliseconds for newer
+    /// versions of the served (unpinned) models and hot-reload them;
+    /// `None` disables the watcher. Only meaningful for
+    /// [`serve_registry`] servers.
+    pub reload_watch_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            threads: 0,
+            shards: 0,
             cache_capacity: 4096,
             predict_chunk: 32,
             precision: None,
             http_addr: None,
             ledger: true,
+            reload_watch_ms: None,
         }
     }
 }
@@ -94,18 +116,23 @@ const WINDOW_BUCKET_US: u64 = 1_000_000;
 /// resolution (×1e6) keeps fractional profile weights visible.
 const WEIGHT_SCALE: f64 = 1e6;
 
-/// Cache misses below this count are computed inline; at or above it they
-/// fan out over the worker pool.
-const PARALLEL_BATCH_MIN: usize = 16;
+/// A connection whose unflushed output exceeds this stops being read until
+/// the client drains it — backpressure against a pipelining client that
+/// never reads replies.
+const OUT_HIGH_WATER: usize = 4 << 20;
+
+/// Empty reactor sweeps before easing off the CPU: first yield the core
+/// (lets shard workers and local clients run immediately — the common case
+/// under load), then sleep in 1 ms naps once genuinely idle.
+const IDLE_SPINS: u32 = 128;
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
 
 pub(crate) struct Shared {
-    model: EspModel,
-    info: ServerInfo,
-    addr: SocketAddr,
-    cache: Mutex<LruCache>,
+    /// Selector → model routing table (hot reload swaps entries here).
+    pub(crate) models: ModelTable,
     pub(crate) metrics: Metrics,
-    threads: usize,
-    predict_chunk: usize,
+    /// Rows per batched-kernel call inside a shard.
+    pub(crate) predict_chunk: usize,
     pub(crate) stop: AtomicBool,
     /// Per-site accuracy ledger (PROFILE outcomes joined to served
     /// predictions).
@@ -121,24 +148,38 @@ pub(crate) struct Shared {
     /// HTTP sidecar requests served (kept out of the metrics registry so
     /// scraping does not perturb the byte-identity of `/metrics` vs STATS
     /// on a quiesced server).
-    pub(crate) http_requests: std::sync::atomic::AtomicU64,
+    pub(crate) http_requests: AtomicU64,
+    /// Per-shard health counters, written by the workers, read by
+    /// `/healthz` and the exposition.
+    pub(crate) shard_stats: Vec<Arc<ShardStats>>,
 }
 
 impl Shared {
-    pub(crate) fn info(&self) -> &ServerInfo {
-        &self.info
+    /// Model facts of the default model (what `/healthz` reports).
+    pub(crate) fn info(&self) -> ServerInfo {
+        self.models.default_entry().info.clone()
     }
 
     pub(crate) fn precision_bits(&self) -> u32 {
-        self.model.precision_bits()
+        self.models.default_entry().model.precision_bits()
     }
 
-    /// The unified exposition: the metrics registry followed by the
-    /// accuracy-ledger families. The STATS opcode, the in-process
+    /// The unified exposition: per-shard gauges refreshed from the worker
+    /// counters, then the metrics registry followed by the accuracy-ledger
+    /// families. The STATS opcode, the in-process
     /// [`ServerHandle::metrics_text`], and the HTTP `/metrics` endpoint all
     /// render through here, so the three views are byte-identical on a
     /// quiesced server.
     pub(crate) fn exposition(&self) -> String {
+        for (i, st) in self.shard_stats.iter().enumerate() {
+            self.metrics.set_shard(
+                i,
+                st.queue_depth.load(Ordering::Relaxed),
+                st.hits.load(Ordering::Relaxed),
+                st.misses.load(Ordering::Relaxed),
+                st.entries.load(Ordering::Relaxed),
+            );
+        }
         let mut text = self.metrics.render_text();
         text.push_str(&self.ledger.render_text());
         text
@@ -154,8 +195,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     http_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
     http: Option<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Start serving `artifact` on `addr` (use port `0` for an ephemeral port;
@@ -176,8 +218,13 @@ pub fn serve(
         hidden: artifact.mlp.num_hidden() as u32,
         format_version: FORMAT_VERSION,
         corpus_id: artifact.meta.corpus_id.clone(),
+        model_name: String::new(),
+        model_version: 0,
     };
-    serve_model(model, info, addr, cfg)
+    let table = ModelTable::new("");
+    let id = table.next_id();
+    table.install("", Arc::new(ModelEntry { id, model, info }));
+    serve_table(table, addr, cfg, None)
 }
 
 /// [`serve`] for either artifact kind. The precision matrix: an f64
@@ -189,44 +236,91 @@ pub fn serve_any(
     addr: &str,
     cfg: &ServeConfig,
 ) -> std::io::Result<ServerHandle> {
-    let model = match (artifact, cfg.precision) {
-        (AnyArtifact::F64(a), Some(Precision::F32)) => a.quantize().to_model(),
-        (AnyArtifact::F64(a), _) => a.to_model(),
-        (AnyArtifact::F32(a), None | Some(Precision::F32)) => a.to_model(),
-        (AnyArtifact::F32(_), Some(Precision::F64)) => {
-            return Err(std::io::Error::new(
-                ErrorKind::InvalidInput,
-                "artifact holds f32 (quantized) weights and cannot be served at f64; \
-                 load the f64 artifact instead",
-            ));
-        }
-    };
+    let model = model_at_precision(artifact, cfg.precision)?;
     let info = ServerInfo {
         dim: artifact.dim() as u32,
         hidden: artifact.hidden() as u32,
         format_version: FORMAT_VERSION,
         corpus_id: artifact.meta().corpus_id.clone(),
+        model_name: String::new(),
+        model_version: 0,
     };
-    serve_model(model, info, addr, cfg)
+    let table = ModelTable::new("");
+    let id = table.next_id();
+    table.install("", Arc::new(ModelEntry { id, model, info }));
+    serve_table(table, addr, cfg, None)
 }
 
-fn serve_model(
-    model: EspModel,
-    info: ServerInfo,
+/// Serve one or more registry models behind a single port. Each `(name,
+/// version)` pair loads that exact version, or the newest when `None`; the
+/// first name becomes the default model (what an empty selector resolves
+/// to). With `cfg.reload_watch_ms` set, a watcher thread polls the
+/// registry and hot-reloads newer versions of every *unpinned* name: the
+/// table entry is atomically swapped, in-flight requests finish on the old
+/// model, and `esp_serve_reloads_total` / `esp_serve_model_version` record
+/// the flip.
+pub fn serve_registry(
+    registry: &Registry,
+    models: &[(String, Option<u32>)],
     addr: &str,
     cfg: &ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    if models.is_empty() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "serve_registry needs at least one model name",
+        ));
+    }
+    let table = ModelTable::new(&models[0].0);
+    for (name, pin) in models {
+        let (version, artifact) = registry
+            .load_any(name, *pin)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        let entry = entry_from_any(&table, &artifact, name, version, cfg.precision)?;
+        table.install(name, Arc::new(entry));
+    }
+    let watch = cfg.reload_watch_ms.map(|ms| WatchCfg {
+        registry: registry.clone(),
+        names: models
+            .iter()
+            .filter(|(_, pin)| pin.is_none())
+            .map(|(n, _)| n.clone())
+            .collect(),
+        interval: Duration::from_millis(ms.max(1)),
+        precision: cfg.precision,
+    });
+    serve_table(table, addr, cfg, watch)
+}
+
+/// What the reload watcher polls.
+struct WatchCfg {
+    registry: Registry,
+    /// Unpinned model names eligible for hot reload.
+    names: Vec<String>,
+    interval: Duration,
+    precision: Option<Precision>,
+}
+
+fn serve_table(
+    table: ModelTable,
+    addr: &str,
+    cfg: &ServeConfig,
+    watch: Option<WatchCfg>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let metrics = Metrics::new();
-    metrics.set_precision(model.precision_bits());
+    let shards = esp_runtime::resolve_threads(cfg.shards);
+    let metrics = Metrics::with_shards(shards);
+    {
+        let default = table.default_entry();
+        metrics.set_precision(default.model.precision_bits());
+        metrics.set_model_version(default.info.model_version);
+    }
+    let shard_stats = (0..shards).map(|_| Arc::new(ShardStats::default())).collect();
     let shared = Arc::new(Shared {
-        info,
-        model,
-        addr,
-        cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+        models: table,
         metrics,
-        threads: cfg.threads,
         predict_chunk: cfg.predict_chunk.max(1),
         stop: AtomicBool::new(false),
         ledger: Ledger::new(cfg.ledger),
@@ -234,10 +328,11 @@ fn serve_model(
         req_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
         observed_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
         mispredict_window: SlidingWindow::new(WINDOW_SLOTS, WINDOW_BUCKET_US),
-        http_requests: std::sync::atomic::AtomicU64::new(0),
+        http_requests: AtomicU64::new(0),
+        shard_stats,
     });
 
-    // The HTTP telemetry sidecar binds before the acceptor spawns so a
+    // The HTTP telemetry sidecar binds before the reactor spawns so a
     // bad --http-addr fails server startup instead of dying silently on a
     // background thread.
     let (http_addr, http) = match &cfg.http_addr {
@@ -248,31 +343,29 @@ fn serve_model(
         None => (None, None),
     };
 
-    let accept_shared = Arc::clone(&shared);
-    let acceptor = std::thread::spawn(move || {
-        let mut workers = Vec::new();
-        for stream in listener.incoming() {
-            if accept_shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            accept_shared.metrics.connections.inc();
-            let conn_shared = Arc::clone(&accept_shared);
-            workers.push(std::thread::spawn(move || {
-                let _ = handle_connection(stream, &conn_shared);
-            }));
-        }
-        for w in workers {
-            let _ = w.join();
-        }
+    // The reactor owns the shard pool: it is the only dispatcher, and it
+    // stops and joins the workers after draining at shutdown.
+    let pool = ShardPool::spawn(&shared, shards, cfg.cache_capacity);
+    let reactor_shared = Arc::clone(&shared);
+    let reactor = std::thread::Builder::new()
+        .name("esp-serve-reactor".to_string())
+        .spawn(move || reactor_loop(reactor_shared, listener, pool))?;
+
+    let watcher = watch.map(|w| {
+        let watch_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("esp-serve-reload".to_string())
+            .spawn(move || watch_loop(watch_shared, w))
+            .expect("spawn reload watcher")
     });
 
     Ok(ServerHandle {
         addr,
         http_addr,
         shared,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
         http,
+        watcher,
     })
 }
 
@@ -316,101 +409,331 @@ impl ServerHandle {
     /// Like [`ServerHandle::join`], but borrowing — the handle stays usable
     /// for post-exit reads such as [`ServerHandle::metrics_text`].
     pub fn wait(&mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
         }
         if let Some(h) = self.http.take() {
             let _ = h.join();
         }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
     }
 
-    /// Stop accepting work, drain connections, and wait for every thread.
+    /// Stop accepting work, drain queued responses, and wait for every
+    /// thread (the nonblocking reactor notices the flag within one poll).
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway loopback connection.
-        let _ = TcpStream::connect(self.addr);
         self.wait();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || self.http.is_some() {
+        if self.reactor.is_some() || self.http.is_some() || self.watcher.is_some() {
             self.shared.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(self.addr);
-            if let Some(a) = self.acceptor.take() {
-                let _ = a.join();
-            }
-            if let Some(h) = self.http.take() {
-                let _ = h.join();
-            }
+            self.wait();
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
-    // A finite read timeout lets idle connections notice the stop flag.
-    // Frames are read through a resumable `FrameReader`: a timeout firing
-    // mid-frame (slow or pausing client) keeps the partial bytes buffered,
-    // so the stream never desynchronizes — the next iteration resumes the
-    // same frame after re-checking the flag.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_nodelay(true)?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut writer = std::io::BufWriter::new(stream);
-    let mut frames = FrameReader::new();
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return Ok(());
+/// One queued response slot. The queue preserves request order: only the
+/// head may leave, and a pending head blocks everything behind it.
+enum Slot {
+    /// Encoded response payload, ready to frame and write.
+    Ready(Vec<u8>),
+    /// A predict batch in flight on the shard workers.
+    Pending {
+        req_id: u64,
+        join: Arc<PredictJoin>,
+        svc_start: Instant,
+    },
+}
+
+/// Per-connection state machine: resumable frame reads, the in-order
+/// response queue, and the pending-write buffer.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameReader,
+    queue: VecDeque<Slot>,
+    /// Bytes framed but not yet written (partial-write parking).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Peer closed its write side; we still flush what is queued.
+    read_closed: bool,
+    /// I/O or framing error; the connection is dropped without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            frames: FrameReader::new(),
+            queue: VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            read_closed: false,
+            dead: false,
         }
-        let payload = match frames.read(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => return Ok(()), // client hung up cleanly
-            Err(ServeError::Io(e))
-                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
-            {
-                continue; // idle or mid-frame; re-check the stop flag
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    /// Nothing queued, nothing buffered: safe to close or to let shutdown
+    /// proceed.
+    fn drained(&self) -> bool {
+        self.dead || (self.queue.is_empty() && self.flushed())
+    }
+
+    /// This connection is over and can be dropped.
+    fn finished(&self) -> bool {
+        self.dead || (self.read_closed && self.queue.is_empty() && self.flushed())
+    }
+}
+
+fn reactor_loop(shared: Arc<Shared>, listener: TcpListener, pool: ShardPool) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle: u32 = 0;
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let mut progress = false;
+
+        if !stopping {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        shared.metrics.connections.inc();
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
             }
-            Err(e) => return Err(e),
+        }
+
+        for conn in conns.iter_mut() {
+            progress |= pump(&shared, &pool, conn, stopping);
+        }
+        conns.retain(|c| !c.finished());
+
+        if stopping && conns.iter().all(Conn::drained) {
+            break;
+        }
+
+        if progress {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle < IDLE_SPINS {
+                // Yield first: on a busy box this hands the core straight
+                // to a shard worker or a local client, costing microseconds
+                // instead of a sleep quantum.
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+    // Workers drain their queues (Stop sits behind any remaining jobs),
+    // then exit; nothing in flight is abandoned.
+    pool.stop();
+}
+
+/// Drive one connection as far as it will go without blocking. Returns
+/// true when any byte or state moved.
+fn pump(shared: &Shared, pool: &ShardPool, conn: &mut Conn, stopping: bool) -> bool {
+    let mut progress = false;
+
+    // 1. Read complete frames and dispatch them. Skipped while stopping
+    //    (no new work), after EOF, or while the peer is not draining its
+    //    replies (backpressure).
+    if !stopping && !conn.read_closed && !conn.dead && conn.out.len() - conn.out_pos < OUT_HIGH_WATER
+    {
+        loop {
+            let read = {
+                let Conn { frames, stream, .. } = &mut *conn;
+                frames.read(&mut &*stream)
+            };
+            match read {
+                Ok(Some(payload)) => {
+                    progress = true;
+                    handle_frame(shared, pool, &mut conn.queue, &payload);
+                }
+                Ok(None) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Err(ServeError::Io(e))
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                {
+                    break; // mid-frame; the FrameReader resumes next sweep
+                }
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // 2. Complete the head of the response queue into the write buffer —
+    //    ready slots immediately, pending slots once their shard join
+    //    resolves. Head-only, so replies keep request order.
+    loop {
+        let head_done = match conn.queue.front() {
+            Some(Slot::Ready(_)) => true,
+            Some(Slot::Pending { join, .. }) => join.complete(),
+            None => false,
         };
-        // End-to-end service clock: covers decode, handling (cache-hit fast
-        // path included), response encode and write — what a client sees
-        // between its frame arriving complete and the reply leaving.
-        let svc_start = Instant::now();
-        shared.metrics.requests.inc();
-        // The client's request id (0 = unset) is echoed on the response and
-        // stamped into server spans, so merged client+server traces
-        // correlate request-for-request.
-        let (req_id, response) = match Request::decode_with_id(&payload) {
-            Err(e) => (0, Response::Error(e.to_string())),
-            Ok((id, Request::Info)) => (id, Response::Info(shared.info.clone())),
-            Ok((id, Request::Stats)) => {
-                // A STATS request records its own metrics *before* the
-                // exposition renders, so the reply carries exactly the
-                // registry state a quiesced follow-up `/metrics` scrape
-                // sees — the byte-identity contract. (Its measured latency
-                // therefore excludes the render+write tail; fine for a
-                // monitoring opcode.)
+        if !head_done {
+            break;
+        }
+        match conn.queue.pop_front() {
+            Some(Slot::Ready(payload)) => push_frame(&mut conn.out, &payload),
+            Some(Slot::Pending {
+                req_id,
+                join,
+                svc_start,
+            }) => {
+                let probs = std::mem::take(&mut *join.probs.lock().expect("join lock"));
+                let predictions: Vec<Prediction> = probs
+                    .into_iter()
+                    .map(|prob| Prediction {
+                        prob,
+                        taken: prob > 0.5,
+                    })
+                    .collect();
+                let payload = Response::Predictions(predictions).encode_with_id(req_id);
+                push_frame(&mut conn.out, &payload);
+                shared.metrics.update_cache_hit_ratio();
                 record_request(shared, svc_start);
-                let reply = Response::Stats(shared.stats_snapshot());
-                write_frame(&mut writer, &reply.encode_with_id(id))?;
-                continue;
             }
-            Ok((id, Request::Shutdown)) => {
-                shared.stop.store(true, Ordering::SeqCst);
-                let reply = Response::ShuttingDown;
-                write_frame(&mut writer, &reply.encode_with_id(id))?;
-                record_request(shared, svc_start);
-                // Wake the blocking acceptor so it observes the flag,
-                // drains the other connections, and exits.
-                let _ = TcpStream::connect(shared.addr);
-                return Ok(());
+            None => unreachable!("head_done implies a head"),
+        }
+        progress = true;
+    }
+
+    // 3. Flush the write buffer as far as the socket allows.
+    if !conn.dead && !conn.flushed() {
+        loop {
+            match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    progress = true;
+                    if conn.flushed() {
+                        conn.out.clear();
+                        conn.out_pos = 0;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
             }
-            Ok((id, Request::Predict(rows))) => (id, handle_predict(shared, rows, id)),
-            Ok((id, Request::Profile(records))) => (id, handle_profile(shared, records, id)),
-        };
-        write_frame(&mut writer, &response.encode_with_id(req_id))?;
-        record_request(shared, svc_start);
+        }
+    }
+
+    progress
+}
+
+/// Append one length-prefixed frame to a connection's write buffer.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode one frame and enqueue its response slot. Immediate opcodes are
+/// answered (and measured) inline; PREDICT validates, routes to the shard
+/// workers, and parks a pending slot.
+fn handle_frame(shared: &Shared, pool: &ShardPool, queue: &mut VecDeque<Slot>, payload: &[u8]) {
+    // End-to-end service clock: covers decode, handling (cache-hit fast
+    // path included) and response encode; the write happens on the shared
+    // reactor and is not attributed to individual requests.
+    let svc_start = Instant::now();
+    shared.metrics.requests.inc();
+    // The client's request id (0 = unset) is echoed on the response and
+    // stamped into server spans, so merged client+server traces correlate
+    // request-for-request.
+    match Request::decode_with_id(payload) {
+        Err(e) => {
+            queue.push_back(Slot::Ready(Response::Error(e.to_string()).encode_with_id(0)));
+            record_request(shared, svc_start);
+        }
+        Ok((id, Request::Info { model })) => {
+            let resp = match shared.models.resolve(&model) {
+                Ok(entry) => Response::Info(entry.info.clone()),
+                Err(msg) => Response::Error(msg),
+            };
+            queue.push_back(Slot::Ready(resp.encode_with_id(id)));
+            record_request(shared, svc_start);
+        }
+        Ok((id, Request::Stats)) => {
+            // A STATS request records its own metrics *before* the
+            // exposition renders, so the reply carries exactly the registry
+            // state a quiesced follow-up `/metrics` scrape sees — the
+            // byte-identity contract.
+            record_request(shared, svc_start);
+            let reply = Response::Stats(shared.stats_snapshot());
+            queue.push_back(Slot::Ready(reply.encode_with_id(id)));
+        }
+        Ok((id, Request::Shutdown)) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            queue.push_back(Slot::Ready(Response::ShuttingDown.encode_with_id(id)));
+            record_request(shared, svc_start);
+        }
+        Ok((id, Request::Profile(records))) => {
+            let resp = handle_profile(shared, records, id);
+            queue.push_back(Slot::Ready(resp.encode_with_id(id)));
+            record_request(shared, svc_start);
+        }
+        Ok((id, Request::Predict { model, rows })) => {
+            let entry = match shared.models.resolve(&model) {
+                Ok(e) => e,
+                Err(msg) => {
+                    queue.push_back(Slot::Ready(Response::Error(msg).encode_with_id(id)));
+                    record_request(shared, svc_start);
+                    return;
+                }
+            };
+            let dim = entry.info.dim as usize;
+            for (i, r) in rows.iter().enumerate() {
+                if r.row.len() != dim || r.mask.len() != dim {
+                    let msg = format!(
+                        "row {i}: got {} values / {} mask bits, model expects {dim}",
+                        r.row.len(),
+                        r.mask.len()
+                    );
+                    queue.push_back(Slot::Ready(Response::Error(msg).encode_with_id(id)));
+                    record_request(shared, svc_start);
+                    return;
+                }
+            }
+            let m = &shared.metrics;
+            m.predict_requests.inc();
+            m.predictions.add(rows.len() as u64);
+            m.record_batch_size(rows.len() as u64);
+            let join = pool.dispatch(shared, &entry, rows);
+            queue.push_back(Slot::Pending {
+                req_id: id,
+                join,
+                svc_start,
+            });
+        }
     }
 }
 
@@ -450,103 +773,49 @@ fn handle_profile(shared: &Shared, records: Vec<ProfileRecord>, req_id: u64) -> 
     Response::Profiled(ack)
 }
 
-fn handle_predict(shared: &Shared, rows: Vec<crate::protocol::PredictRow>, req_id: u64) -> Response {
-    let start = Instant::now();
-    let mut sp = esp_obs::span!("serve", "predict_batch", rows = rows.len());
-    let dim = shared.info.dim as usize;
-    for (i, r) in rows.iter().enumerate() {
-        if r.row.len() != dim || r.mask.len() != dim {
-            return Response::Error(format!(
-                "row {i}: got {} values / {} mask bits, model expects {dim}",
-                r.row.len(),
-                r.mask.len()
-            ));
+/// The hot-reload watcher: poll the registry for newer versions of each
+/// unpinned name and atomically swap fresh entries into the table. A
+/// version that fails to load or decode is skipped (the old model keeps
+/// serving); success bumps `esp_serve_reloads_total` and, for the default
+/// model, the `esp_serve_model_version` gauge.
+fn watch_loop(shared: Arc<Shared>, w: WatchCfg) {
+    // Nap in short slices so shutdown is prompt even with long intervals.
+    let nap = w.interval.min(Duration::from_millis(25));
+    let mut since_poll = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(nap);
+        since_poll += nap;
+        if since_poll < w.interval {
+            continue;
         }
-    }
-
-    // Pass 1: resolve cache hits under the lock, remember misses. Every
-    // row's key is kept (not just the misses'): the accuracy ledger records
-    // served predictions for hits too, so repeat traffic keeps its site
-    // attribution.
-    let mut probs: Vec<Option<f64>> = vec![None; rows.len()];
-    let mut miss_idx: Vec<usize> = Vec::new();
-    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
-    {
-        let mut cache = shared.cache.lock().expect("cache lock");
-        for (i, r) in rows.iter().enumerate() {
-            let key = cache_key(&r.row, &r.mask);
-            match cache.get(&key) {
-                Some(p) => probs[i] = Some(p),
-                None => miss_idx.push(i),
+        since_poll = Duration::ZERO;
+        for name in &w.names {
+            let current = match shared.models.resolve(name) {
+                Ok(entry) => entry.info.model_version,
+                Err(_) => 0,
+            };
+            let Ok(versions) = w.registry.versions(name) else {
+                continue;
+            };
+            let Some(&newest) = versions.last() else {
+                continue;
+            };
+            if newest <= current {
+                continue;
             }
-            keys.push(key);
-        }
-    }
-    let hits = rows.len() - miss_idx.len();
-
-    // Pass 2: compute the misses with the batched kernel (shared
-    // normalization + hidden-activation buffers, no per-row allocation);
-    // large batches split into chunks fanned out over the worker pool, each
-    // worker running the batched kernel on its chunk. Bitwise identical to
-    // the per-row path at every thread count.
-    let batch_of = |idx: &[usize]| {
-        shared
-            .model
-            .predict_prob_encoded_batch(idx.iter().map(|&i| (&rows[i].row[..], &rows[i].mask[..])))
-    };
-    let computed: Vec<f64> = if miss_idx.len() >= PARALLEL_BATCH_MIN && shared.threads != 1 {
-        let chunks: Vec<&[usize]> = miss_idx.chunks(shared.predict_chunk).collect();
-        parallel_map(shared.threads, &chunks, |c| batch_of(c))
-            .into_iter()
-            .flatten()
-            .collect()
-    } else {
-        batch_of(&miss_idx)
-    };
-
-    // Pass 3: fill results, feed the accuracy ledger, and publish the
-    // fresh cache entries (taking the keys by value last).
-    for (&i, &p) in miss_idx.iter().zip(&computed) {
-        probs[i] = Some(p);
-    }
-    if shared.ledger.enabled() {
-        for (i, key) in keys.iter().enumerate() {
-            shared
-                .ledger
-                .record_served(key, probs[i].expect("every row resolved"));
-        }
-    }
-    {
-        let mut cache = shared.cache.lock().expect("cache lock");
-        for (&i, &p) in miss_idx.iter().zip(&computed) {
-            cache.insert(std::mem::take(&mut keys[i]), p);
-        }
-    }
-
-    let predictions: Vec<Prediction> = probs
-        .into_iter()
-        .map(|p| {
-            let prob = p.expect("every row resolved");
-            Prediction {
-                prob,
-                taken: prob > 0.5,
+            let Ok((version, artifact)) = w.registry.load_any(name, Some(newest)) else {
+                continue;
+            };
+            let Ok(entry) = entry_from_any(&shared.models, &artifact, name, version, w.precision)
+            else {
+                continue;
+            };
+            let is_default = shared.models.default_name() == name;
+            shared.models.install(name, Arc::new(entry));
+            shared.metrics.reloads.inc();
+            if is_default {
+                shared.metrics.set_model_version(version);
             }
-        })
-        .collect();
-
-    let m = &shared.metrics;
-    m.predict_requests.inc();
-    m.predictions.add(rows.len() as u64);
-    m.cache_hits.add(hits as u64);
-    m.cache_misses.add(miss_idx.len() as u64);
-    m.record_batch_size(rows.len() as u64);
-    m.update_cache_hit_ratio();
-    m.record_predict_compute_us(start.elapsed().as_micros() as u64);
-    if sp.is_enabled() {
-        sp.arg("req", req_id);
-        sp.arg("hits", hits);
-        sp.arg("misses", miss_idx.len());
+        }
     }
-
-    Response::Predictions(predictions)
 }

@@ -153,7 +153,10 @@ fn profile_loop_reproduces_in_process_miss_rate() {
     let (status, health) = http_get(&http, "/healthz");
     assert!(status.contains(" 200 "), "GET /healthz: {status}");
     assert!(health.contains("\"model\": \"telemetry-e2e\""));
-    assert!(health.contains("\"protocol_version\": 3"));
+    assert!(health.contains("\"protocol_version\": 4"));
+    assert!(health.contains("\"shards\":"));
+    assert!(health.contains("\"reloads_total\": 0"));
+    assert!(health.contains("\"shard_health\": ["));
     assert!(health.contains("\"ledger_enabled\": true"));
     assert!(health.contains("\"window\""));
 

@@ -79,14 +79,22 @@ is intentional, regenerate results/lint_golden.json with esp_lint --json" >&2; e
     cat BENCH_serve.json
     for key in throughput_rps predictions_per_sec p50_ms p99_ms hist_p90_us cache_hit_rate \
                predict_chunk predict_chunk_source \
+               connections shards reloads_total open_loop \
                profile_rate observed_miss_rate calibration_ece profile_updates_per_sec; do
         grep -q "\"$key\"" BENCH_serve.json \
             || { echo "BENCH_serve.json is missing \"$key\"" >&2; exit 1; }
+    done
+    for key in rps_target achieved_rps; do
+        grep -q "\"$key\"" BENCH_serve.json \
+            || { echo "BENCH_serve.json open_loop curve is missing \"$key\"" >&2; exit 1; }
     done
     grep -q '"observed_miss_rate": null' BENCH_serve.json \
         && { echo "profile replay ran but observed_miss_rate is null" >&2; exit 1; }
     for series in esp_serve_requests_total esp_serve_request_us \
                   esp_serve_predict_compute_us esp_serve_batch_size \
+                  esp_serve_shards esp_serve_shard_0_queue_depth \
+                  esp_serve_shard_0_cache_hit_ratio esp_serve_shard_0_cache_entries \
+                  esp_serve_model_version esp_serve_reloads_total \
                   esp_ledger_profile_records_total esp_ledger_observed_miss_rate \
                   esp_ledger_calibration_ece; do
         grep -q "$series" metrics_serve.prom \
@@ -115,10 +123,12 @@ is intentional, regenerate results/lint_golden.json with esp_lint --json" >&2; e
             || { echo "/metrics is missing $series" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
     done
     ./target/release/esp-client get --addr "$http_addr" --path /healthz > sidecar_healthz.json
-    grep -q '"protocol_version": 3' sidecar_healthz.json \
-        || { echo "/healthz is missing protocol_version 3" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    grep -q '"protocol_version": 4' sidecar_healthz.json \
+        || { echo "/healthz is missing protocol_version 4" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
     grep -q '"ledger_enabled": true' sidecar_healthz.json \
         || { echo "/healthz says the default-on ledger is off" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+    grep -q '"shard_health": \[' sidecar_healthz.json \
+        || { echo "/healthz is missing the shard_health array" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
     ./target/release/esp-client get --addr "$http_addr" --path '/sitez?top=5' > sidecar_sitez.json
     if command -v python3 >/dev/null 2>&1; then
         python3 - <<'PYEOF'
@@ -138,6 +148,55 @@ PYEOF
     ./target/release/esp-client shutdown --addr "$tcp_addr" > /dev/null
     wait "$serve_pid"
     rm -f serve_sidecar.log sidecar_metrics.prom sidecar_healthz.json sidecar_sitez.json
+
+    echo "==> hot-reload smoke (2 shards, registry publish mid-run, version gauge flips)"
+    rm -rf target/verify_reload_registry
+    ./target/release/esp-client registry publish --dir target/verify_reload_registry \
+        --name smoke --synthetic 16,6,41 > /dev/null
+    ./target/release/esp-serve --registry target/verify_reload_registry --name smoke \
+        --shards 2 --reload-watch 50 --addr 127.0.0.1:0 \
+        --http-addr 127.0.0.1:0 2> serve_reload.log &
+    reload_pid=$!
+    tcp_addr=""; http_addr=""
+    for _ in $(seq 1 100); do
+        tcp_addr=$(sed -n 's/^esp-serve listening on \([^ ]*\) .*/\1/p' serve_reload.log)
+        http_addr=$(sed -n 's|^esp-serve telemetry on http://\([^ ]*\) .*|\1|p' serve_reload.log)
+        [[ -n "$tcp_addr" && -n "$http_addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$tcp_addr" && -n "$http_addr" ]] \
+        || { echo "esp-serve (reload smoke) did not print its bound addresses:" >&2; \
+             cat serve_reload.log >&2; kill "$reload_pid" 2>/dev/null; exit 1; }
+    ./target/release/esp-client info --addr "$tcp_addr" --model smoke | grep -q '\[smoke@1\]' \
+        || { echo "reload smoke: expected smoke@1 before publish" >&2; kill "$reload_pid" 2>/dev/null; exit 1; }
+    ./target/release/esp-client registry publish --dir target/verify_reload_registry \
+        --name smoke --synthetic 16,6,42 > /dev/null
+    reloaded=0
+    for _ in $(seq 1 100); do
+        ./target/release/esp-client get --addr "$http_addr" --path /metrics > reload_metrics.prom
+        if grep -q '^esp_serve_model_version 2$' reload_metrics.prom; then reloaded=1; break; fi
+        sleep 0.1
+    done
+    [[ "$reloaded" -eq 1 ]] \
+        || { echo "reload smoke: esp_serve_model_version never reached 2" >&2; \
+             kill "$reload_pid" 2>/dev/null; exit 1; }
+    grep -q '^esp_serve_reloads_total 1$' reload_metrics.prom \
+        || { echo "reload smoke: esp_serve_reloads_total != 1" >&2; kill "$reload_pid" 2>/dev/null; exit 1; }
+    grep -q '^esp_serve_shards 2$' reload_metrics.prom \
+        || { echo "reload smoke: esp_serve_shards != 2" >&2; kill "$reload_pid" 2>/dev/null; exit 1; }
+    for shard in 0 1; do
+        for family in queue_depth cache_hit_ratio cache_entries; do
+            grep -q "^esp_serve_shard_${shard}_${family} " reload_metrics.prom \
+                || { echo "reload smoke: missing esp_serve_shard_${shard}_${family}" >&2; \
+                     kill "$reload_pid" 2>/dev/null; exit 1; }
+        done
+    done
+    ./target/release/esp-client info --addr "$tcp_addr" --model smoke@2 | grep -q '\[smoke@2\]' \
+        || { echo "reload smoke: smoke@2 not served after reload" >&2; kill "$reload_pid" 2>/dev/null; exit 1; }
+    ./target/release/esp-client shutdown --addr "$tcp_addr" > /dev/null
+    wait "$reload_pid"
+    rm -f serve_reload.log reload_metrics.prom
+    rm -rf target/verify_reload_registry
 
     echo "==> observability smoke (traced Table 4 subset, writes trace + exposition)"
     cargo run --release --offline -q -p esp-bench --bin repro_tables -- \

@@ -17,10 +17,12 @@ fn model_artifact_format_version_is_pinned() {
 #[test]
 fn serve_protocol_version_is_pinned() {
     // v3 added the PROFILE opcode (per-site outcome feedback) and the
-    // echoed u64 request id in the frame header.
+    // echoed u64 request id in the frame header. v4 added the model
+    // selector string to PREDICT and INFO (multi-model routing) and the
+    // `model_name`/`model_version` fields to the INFO response.
     assert_eq!(
         esp_serve::protocol::PROTOCOL_VERSION,
-        3,
+        4,
         "serve wire protocol version changed — update client, server and this pin together"
     );
 }
